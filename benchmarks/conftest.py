@@ -1,0 +1,31 @@
+"""Benchmark harness helpers.
+
+Every bench prints the paper-shaped table it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserts the qualitative
+claims.  ``emit`` also appends each table to ``benchmarks/results.txt`` so
+a plain ``pytest benchmarks/ --benchmark-only`` leaves the numbers on disk
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit(text: str) -> None:
+    """Print a table and append it to the results file."""
+    print()
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield

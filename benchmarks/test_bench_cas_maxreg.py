@@ -1,0 +1,87 @@
+"""Experiment B1 — Appendix B / Section 5: the CAS time-space tradeoff.
+
+Algorithm 1 is space-optimal (one CAS) but its write-max loop pays one
+iteration per intervening larger value — time complexity grows with the
+value domain traffic, whereas the k-register collect construction does a
+constant two phases.  The bench measures Algorithm 1 loop iterations as a
+function of the number of monotone updates, demonstrating the tradeoff
+the paper's discussion highlights.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.cas_maxreg import SingleCASMaxRegister
+from repro.core.collect_maxreg import CollectMaxRegister
+from repro.sim.scheduling import RandomScheduler
+
+
+def _cas_iterations(n_updates, seed=0):
+    mreg = SingleCASMaxRegister(initial_value=0, scheduler=RandomScheduler(seed))
+    client = mreg.add_client()
+    for value in range(1, n_updates + 1):
+        client.enqueue("write_max", value)
+    assert mreg.system.run_to_quiescence(max_steps=2_000_000).satisfied
+    return mreg.total_iterations
+
+
+def _collect_triggers(n_updates, k=4, seed=0):
+    mreg = CollectMaxRegister(k=k, initial_value=0, scheduler=RandomScheduler(seed))
+    writer = mreg.add_writer(0)
+    for value in range(1, n_updates + 1):
+        writer.enqueue("write_max", value)
+    assert mreg.system.run_to_quiescence(max_steps=2_000_000).satisfied
+    return len(mreg.kernel.ops)
+
+
+def test_cas_time_complexity(benchmark):
+    def sweep():
+        return [
+            (
+                n_updates,
+                _cas_iterations(n_updates),
+                _collect_triggers(n_updates),
+            )
+            for n_updates in (1, 2, 4, 8, 16, 32)
+        ]
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            [
+                "monotone updates",
+                "Alg. 1 CAS loop iterations",
+                "collect-construction triggers",
+            ],
+            [list(row) for row in rows],
+            title="Appendix B — time complexity of the single-CAS max-register",
+        )
+    )
+    # Iterations grow linearly with updates (2 per uncontended update),
+    # never fewer than one per update; space stays at one object.
+    for n_updates, iterations, collect_ops in rows:
+        assert n_updates <= iterations <= 2 * n_updates
+        assert collect_ops <= 2 * n_updates  # one write per update max
+
+
+def test_cas_contention_inflates_iterations(benchmark):
+    """With interleaved writers the loop retries: iterations exceed the
+    uncontended 2-per-write, up to the intervening-value bound."""
+
+    def contended(seed=3):
+        mreg = SingleCASMaxRegister(
+            initial_value=0, scheduler=RandomScheduler(seed)
+        )
+        clients = [mreg.add_client() for _ in range(4)]
+        for index, client in enumerate(clients):
+            for step in range(4):
+                client.enqueue("write_max", 1 + index + 4 * step)
+        assert mreg.system.run_to_quiescence(max_steps=2_000_000).satisfied
+        return mreg.total_iterations
+
+    iterations = benchmark(contended)
+    emit(
+        f"Appendix B — contended single-CAS max-register: 16 writes by 4"
+        f" clients took {iterations} loop iterations"
+    )
+    assert iterations >= 16  # at least one per write

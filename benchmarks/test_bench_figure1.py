@@ -1,0 +1,74 @@
+"""Experiment F1 — Figure 1: the register-to-server layout.
+
+Regenerates the paper's example mapping for n=6, k=5, f=2 (five disjoint
+sets of five registers spread over six servers) and validates the layout
+invariants across a parameter sweep.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.layout import RegisterLayout
+
+
+def test_figure1_layout(benchmark):
+    from repro.core.quorums import verify_quorum_properties
+
+    layout = benchmark(RegisterLayout, 5, 6, 2)
+    layout.validate()
+    # Exhaustively verify the quorum claims of Section 3.3 on Figure 1's
+    # own instance (15 read quorums x 10 write quorums per set).
+    stats = verify_quorum_properties(layout)
+    assert all(s.min_read_cover >= s.set_size - 2 for s in stats)
+    emit("Figure 1 — register layout (k=5, n=6, f=2)\n" + layout.render())
+
+    # Paper shape: z=1, five sets of y=5 registers, 25 registers total,
+    # every set mapped to 5 distinct servers out of 6.
+    assert layout.z == 1
+    assert layout.set_sizes == [5, 5, 5, 5, 5]
+    assert layout.total_registers == 25
+    for register_set in layout.sets:
+        assert len({layout.server_of(oid) for oid in register_set}) == 5
+    # Balanced storage: 25 registers over 6 servers -> 4 or 5 each.
+    loads = sorted(layout.storage_profile().values())
+    assert loads[0] >= 4 and loads[-1] <= 5
+
+
+def test_layout_sweep(benchmark):
+    """Layout validity and storage balance across (k, n, f)."""
+
+    def sweep():
+        rows = []
+        for f in (1, 2, 3):
+            for k in (1, 3, 6):
+                for n in (2 * f + 1, 2 * f + 3, 4 * f + 2):
+                    layout = RegisterLayout(k, n, f)
+                    layout.validate()
+                    loads = layout.storage_profile().values()
+                    rows.append(
+                        [
+                            k,
+                            n,
+                            f,
+                            layout.z,
+                            len(layout.sets),
+                            layout.total_registers,
+                            max(loads),
+                        ]
+                    )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["k", "n", "f", "z", "sets", "registers", "max/server"],
+            rows,
+            title="Figure 1 sweep — layouts across (k, n, f)",
+        )
+    )
+    for row in rows:
+        k, n, f, _z, _sets, total, max_per_server = row
+        assert total == bounds.register_upper_bound(k, n, f)
+        # No server overloaded beyond the ceiling of a balanced split.
+        assert max_per_server <= -(-total // n) + 1

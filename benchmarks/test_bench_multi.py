@@ -1,0 +1,65 @@
+"""Experiment MULTI — consolidation: many registers on one fleet.
+
+Per-server storage is the sum over co-hosted registers, so consolidation
+walks straight into Theorem 7's capacity regime: with m objects of k
+writers each on n = 2f+1 servers, each server stores m*k registers.  The
+bench measures the storage ledger and operation costs as m grows, and
+cross-checks the ledger against the closed forms.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.multi import MultiRegisterDeployment
+from repro.sim.scheduling import RandomScheduler
+
+
+def _measure(m, k, n, f, seed=0):
+    deployment = MultiRegisterDeployment(
+        m=m, k=k, n=n, f=f, scheduler=RandomScheduler(seed)
+    )
+    views = [deployment.register(i) for i in range(m)]
+    writers = [view.add_writer(0) for view in views]
+    readers = [view.add_reader() for view in views]
+    for i, writer in enumerate(writers):
+        writer.enqueue("write", f"v{i}")
+    assert deployment.system.run_to_quiescence(max_steps=2_000_000).satisfied
+    for reader in readers:
+        reader.enqueue("read")
+    assert deployment.system.run_to_quiescence(max_steps=2_000_000).satisfied
+    max_load = max(deployment.storage_profile().values())
+    return deployment.total_registers, max_load, deployment.kernel.time
+
+
+def test_consolidation_scaling(benchmark):
+    k, n, f = 2, 5, 2
+    per_register = bounds.register_upper_bound(k, n, f)
+
+    def sweep():
+        rows = []
+        for m in (1, 2, 4, 8):
+            total, max_load, steps = _measure(m, k, n, f)
+            rows.append([m, total, max_load, steps])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["registers m", "base registers", "max/server", "steps (1 op each)"],
+            rows,
+            title=(
+                f"Consolidation — m registers sharing n={n} servers"
+                f" (k={k}, f={f}; {per_register} base registers each)"
+            ),
+        )
+    )
+    for m, total, max_load, _steps in rows:
+        assert total == m * per_register
+        # Balanced: per-server load is the fair share (total/n each).
+        assert max_load == m * per_register // n
+        # Theorem 7 consistency: this fleet supports these registers only
+        # because each server's capacity is at least the ledger says.
+        assert bounds.servers_needed_bounded_storage(
+            m * k, f, max_load
+        ) <= max(n, 2 * f + 1) + f + 1

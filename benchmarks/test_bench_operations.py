@@ -1,0 +1,91 @@
+"""Experiment OPS — operation cost comparison across the three substrates.
+
+Not a table in the paper, but the flip side of Table 1 that Section 5's
+discussion motivates: space-cheaper base objects (RMW) also give cheaper
+operations, while the register emulation pays for its space bound with
+larger collects.  Measures mean low-level triggers and mean step-duration
+per high-level operation under an identical write-sequential workload.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.abd import ABDEmulation
+from repro.core.cas_maxreg import CASABDEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+from repro.workloads.generators import write_sequential_workload
+from repro.workloads.runner import run_workload
+
+
+def _profile(name, emulation_factory, k):
+    emulation = emulation_factory()
+    workload = write_sequential_workload(
+        k=k, writes_per_writer=2, reads_between=1, n_readers=1
+    )
+    report = run_workload(emulation, workload)
+    assert report.completed_rounds == len(workload.rounds)
+    return [
+        name,
+        report.resource_consumption,
+        round(report.steps.mean_triggers(), 1),
+        round(report.steps.mean_duration(), 1),
+        report.max_covered,
+    ]
+
+
+def test_operation_costs(benchmark):
+    k, n, f = 2, 5, 2
+
+    def run_all():
+        return [
+            _profile(
+                "max-register (ABD)",
+                lambda: ABDEmulation(n=n, f=f, scheduler=RandomScheduler(0)),
+                k,
+            ),
+            _profile(
+                "cas (ABD over Alg. 1)",
+                lambda: CASABDEmulation(n=n, f=f, scheduler=RandomScheduler(0)),
+                k,
+            ),
+            _profile(
+                "register (Alg. 2)",
+                lambda: WSRegisterEmulation(
+                    k=k, n=n, f=f, scheduler=RandomScheduler(0)
+                ),
+                k,
+            ),
+        ]
+
+    rows = benchmark(run_all)
+    emit(
+        render_table(
+            [
+                "substrate",
+                "objects used",
+                "mean triggers/op",
+                "mean steps/op",
+                "max covered",
+            ],
+            rows,
+            title=f"Operation costs across substrates (k={k}, n={n}, f={f})",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # Space ordering (Table 1): RMW substrates use n objects, registers use
+    # k(2f+1) at n=2f+1.
+    assert by_name["max-register (ABD)"][1] == n
+    assert by_name["cas (ABD over Alg. 1)"][1] == n
+    assert by_name["register (Alg. 2)"][1] >= k * f + f + 1
+    # Time ordering: the CAS emulation pays extra round trips vs the native
+    # max-register (Algorithm 1's loop), the register emulation reads every
+    # register so its per-op triggers dominate ABD's.
+    assert (
+        by_name["cas (ABD over Alg. 1)"][2]
+        >= by_name["max-register (ABD)"][2]
+    )
+    assert (
+        by_name["register (Alg. 2)"][2]
+        >= by_name["max-register (ABD)"][2]
+    )

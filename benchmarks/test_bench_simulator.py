@@ -1,0 +1,48 @@
+"""Experiment SIM — simulator throughput (library engineering, not paper).
+
+Measures kernel steps per second as the deployment grows, so regressions
+in the substrate show up in benchmark history.  Also prints the scaling
+table: steps needed per high-level operation grows with the register
+count (collects read everything), which is the simulation-cost face of
+Table 1's space column.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+
+
+def _run_ops(k, n, f, ops=4, seed=0):
+    emu = WSRegisterEmulation(k=k, n=n, f=f, scheduler=RandomScheduler(seed))
+    writer = emu.add_writer(0)
+    reader = emu.add_reader()
+    for index in range(ops):
+        writer.enqueue("write", f"v{index}")
+        reader.enqueue("read")
+    assert emu.system.run_to_quiescence(max_steps=2_000_000).satisfied
+    return emu.kernel.time, emu.layout.total_registers
+
+
+def test_simulator_scaling(benchmark):
+    def sweep():
+        rows = []
+        for k, n, f in [(1, 3, 1), (2, 5, 2), (4, 7, 2), (6, 9, 2), (8, 17, 2)]:
+            steps, registers = _run_ops(k, n, f)
+            rows.append([k, n, f, registers, steps, round(steps / 8, 1)])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["k", "n", "f", "registers", "total steps", "steps/op"],
+            rows,
+            title="Simulator scaling — kernel steps vs deployment size",
+        )
+    )
+    steps_per_op = [row[5] for row in rows]
+    registers = [row[3] for row in rows]
+    # Per-op step cost grows with the register count (collects scan all).
+    assert steps_per_op[-1] > steps_per_op[0]
+    assert registers == sorted(registers)

@@ -1,0 +1,82 @@
+"""Experiment TH1 — Theorem 1: register cost vs the number of servers.
+
+Regenerates the n-sweep implicit in Theorem 1 and Section 3's discussion:
+the register bounds decrease with n (up to the saturation point
+n = kf+f+1) and coincide with the upper bound at n = 2f+1 and at
+saturation.  Measured values come from actually constructing Algorithm 2
+layouts.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.ws_register import WSRegisterEmulation
+
+
+def _sweep(k, f, n_max):
+    rows = []
+    for n in range(2 * f + 1, n_max + 1):
+        lower = bounds.register_lower_bound(k, n, f)
+        upper = bounds.register_upper_bound(k, n, f)
+        measured = WSRegisterEmulation(k=k, n=n, f=f).layout.total_registers
+        rows.append([n, lower, upper, measured, upper - lower])
+    return rows
+
+
+def test_theorem1_n_sweep(benchmark):
+    k, f = 4, 2
+    n_max = bounds.saturation_n(k, f) + 2
+    rows = benchmark(_sweep, k, f, n_max)
+    emit(
+        render_table(
+            ["n", "lower", "upper", "measured (Alg. 2)", "gap"],
+            rows,
+            title=f"Theorem 1 — register bounds vs n (k={k}, f={f})",
+        )
+    )
+
+    lowers = [row[1] for row in rows]
+    uppers = [row[2] for row in rows]
+    measureds = [row[3] for row in rows]
+
+    # Measured always equals the Theorem 3 upper bound.
+    assert measureds == uppers
+    # Both bounds non-increasing in n.
+    assert all(a >= b for a, b in zip(lowers, lowers[1:]))
+    assert all(a >= b for a, b in zip(uppers, uppers[1:]))
+    # Coincidence at n = 2f+1 (k(2f+1)) and at saturation (kf+f+1).
+    assert rows[0][1] == rows[0][2] == k * (2 * f + 1)
+    sat_row = rows[bounds.saturation_n(k, f) - (2 * f + 1)]
+    assert sat_row[1] == sat_row[2] == k * f + f + 1
+    # Floor: never below kf + f + 1.
+    assert all(row[1] >= k * f + f + 1 for row in rows)
+
+
+def test_theorem1_kf_floor(benchmark):
+    """kf + f + 1 registers are needed regardless of server count."""
+
+    def floors():
+        return [
+            (
+                k,
+                f,
+                min(
+                    bounds.register_lower_bound(k, n, f)
+                    for n in range(2 * f + 1, 4 * k * f + 8)
+                ),
+                k * f + f + 1,
+            )
+            for k in (1, 2, 4, 8)
+            for f in (1, 2, 3)
+        ]
+
+    rows = benchmark(floors)
+    emit(
+        render_table(
+            ["k", "f", "min over n of lower bound", "kf+f+1"],
+            rows,
+            title="Theorem 1 — the kf+f+1 floor",
+        )
+    )
+    assert all(row[2] == row[3] for row in rows)

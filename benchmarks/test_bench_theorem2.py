@@ -1,0 +1,50 @@
+"""Experiment TH2 — Theorem 2: a k-writer max-register needs k registers.
+
+The matching construction (one register per writer + collect) uses
+exactly k registers, so Theorem 2's lower bound is tight; the bench
+deploys the construction across k, verifies correctness with a quick
+write/read exercise, and checks the count.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.collect_maxreg import CollectMaxRegister
+from repro.sim.scheduling import RandomScheduler
+
+
+def _deploy_and_exercise(k):
+    mreg = CollectMaxRegister(k=k, initial_value=0, scheduler=RandomScheduler(1))
+    writers = [mreg.add_writer(i) for i in range(k)]
+    reader = mreg.add_reader()
+    for i, writer in enumerate(writers):
+        writer.enqueue("write_max", (i * 7) % (3 * k) + 1)
+    assert mreg.system.run_to_quiescence(max_steps=500_000).satisfied
+    reader.enqueue("read_max")
+    assert mreg.system.run_to_quiescence(max_steps=500_000).satisfied
+    read_result = mreg.history.all_ops()[-1].result
+    return mreg.total_registers, read_result
+
+
+def test_theorem2_tightness(benchmark):
+    def sweep():
+        rows = []
+        for k in (1, 2, 4, 8, 16):
+            registers, result = _deploy_and_exercise(k)
+            rows.append(
+                [k, bounds.k_max_register_lower_bound(k), registers, result]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["k", "lower bound", "construction registers", "read-max"],
+            rows,
+            title="Theorem 2 — k-writer max-register space",
+        )
+    )
+    for k, lower, registers, result in rows:
+        assert registers == lower == k
+        assert result >= 1  # the collect saw at least one write

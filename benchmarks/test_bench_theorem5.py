@@ -1,0 +1,45 @@
+"""Experiment TH5 — Theorem 5: 2f servers are insufficient.
+
+Executes the partitioning argument: the best-possible (f-server-quorum)
+emulation on n = 2f servers suffers a scripted split-brain WS-Safety
+violation for every f, while every emulation in the library enforces
+n >= 2f+1 at deployment time.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.theorem5 import partition_violation
+
+
+def test_theorem5_partition(benchmark):
+    def sweep():
+        rows = []
+        for f in (1, 2, 3):
+            violations = partition_violation(f)
+            rows.append(
+                [
+                    f,
+                    2 * f,
+                    bounds.min_servers(f),
+                    "WS-Safety VIOLATED" if violations else "safe",
+                    (
+                        f"read returned {violations[0].read.result!r},"
+                        f" allowed {violations[0].allowed!r}"
+                        if violations
+                        else "-"
+                    ),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["f", "servers deployed", "Theorem 5 minimum", "outcome", "detail"],
+            rows,
+            title="Theorem 5 — split-brain on n = 2f servers",
+        )
+    )
+    assert all(row[3] == "WS-Safety VIOLATED" for row in rows)

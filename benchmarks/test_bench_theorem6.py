@@ -1,0 +1,68 @@
+"""Experiment TH6 — Theorem 6: k registers per server at n = 2f+1.
+
+Runs the extended Lemma 1 construction against the per-writer-column
+emulation at the minimum server count and shows every non-F server
+accumulating >= k covered registers, for every choice of F — hence every
+server must store at least k registers.
+"""
+
+import itertools
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.collect_maxreg import ReplicatedMaxRegisterEmulation
+from repro.core.lemma1 import Lemma1Runner
+from repro.sim.ids import ServerId
+
+
+def _max_covered_per_server(k, f, F):
+    n = 2 * f + 1
+
+    def factory(scheduler):
+        return ReplicatedMaxRegisterEmulation(k=k, n=n, f=f, scheduler=scheduler)
+
+    runner = Lemma1Runner(factory, k=k, f=f, F=F)
+    runner.run()
+    return runner.reports[-1].per_server_covered
+
+
+def test_theorem6_every_F_choice(benchmark):
+    k, f = 3, 1
+    n = 2 * f + 1
+
+    def all_choices():
+        rows = []
+        for F_tuple in itertools.combinations(range(n), f + 1):
+            F = {ServerId(i) for i in F_tuple}
+            covered = _max_covered_per_server(k, f, F)
+            for server_index in range(n):
+                sid = ServerId(server_index)
+                rows.append(
+                    [
+                        "{" + ",".join(f"s{i}" for i in sorted(F_tuple)) + "}",
+                        str(sid),
+                        "yes" if sid in F else "no",
+                        covered.get(sid, 0),
+                    ]
+                )
+        return rows
+
+    rows = benchmark(all_choices)
+    emit(
+        render_table(
+            ["F", "server", "in F", "covered registers"],
+            rows,
+            title=(
+                f"Theorem 6 — covered registers per server at n=2f+1"
+                f" (k={k}, f={f}; bound: k={k} on every non-F server)"
+            ),
+        )
+    )
+    # Every non-F server reaches k covered registers for every F — so any
+    # server (being outside some F) must store >= k registers.
+    for F_label, server, in_F, covered in rows:
+        if in_F == "no":
+            assert covered >= k, (F_label, server, covered)
+        else:
+            assert covered == 0

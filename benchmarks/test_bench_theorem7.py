@@ -1,0 +1,85 @@
+"""Experiment TH7 — Theorem 7: servers needed under bounded storage.
+
+Regenerates the server-count frontier ceil(kf/m) + f + 1 for per-server
+capacity m, and cross-checks it against actual Algorithm 2 layouts: with
+n at least the frontier, a layout exists whose per-server storage respects
+m (for m >= the balanced load); below the frontier no WS-Safe
+obstruction-free emulation exists at all.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.layout_opt import capacitated_layout
+
+
+def _frontier(k, f, capacities):
+    rows = []
+    for m in capacities:
+        plan = capacitated_layout(k, f, m)
+        rows.append(
+            [
+                m,
+                plan.theorem7_floor,
+                plan.servers,
+                plan.total_registers,
+                plan.max_per_server,
+                plan.slack_over_floor,
+            ]
+        )
+    return rows
+
+
+def test_theorem7_frontier(benchmark):
+    k, f = 6, 2
+    capacities = [1, 2, 3, 4, 6, 12, 24]
+    rows = benchmark(_frontier, k, f, capacities)
+    emit(
+        render_table(
+            [
+                "capacity m",
+                "Thm 7 floor",
+                "achieved n",
+                "layout registers",
+                "max regs/server",
+                "slack",
+            ],
+            rows,
+            title=(
+                f"Theorem 7 — server frontier under bounded storage"
+                f" (k={k}, f={f}; achieved = smallest valid Algorithm 2"
+                " deployment)"
+            ),
+        )
+    )
+    floors = [row[1] for row in rows]
+    achieved = [row[2] for row in rows]
+    # Floors anti-monotone in capacity; achieved n never below the floor,
+    # capacity always respected.
+    assert all(a >= b for a, b in zip(floors, floors[1:]))
+    assert all(a >= b for a, b in zip(achieved, achieved[1:]))
+    for m, floor, n, _total, max_load, slack in rows:
+        assert n >= floor >= 2 * f  # within Theorem 5/7 territory
+        assert max_load <= m
+        assert slack >= 0
+
+
+def test_theorem7_matches_lemma1_accounting(benchmark):
+    """The frontier follows from Lemma 1: kf covered registers must fit on
+    the |S| - (f+1) servers outside F, each holding at most m."""
+
+    def check():
+        violations = 0
+        for k in range(1, 10):
+            for f in (1, 2, 3):
+                for m in range(1, 3 * k):
+                    n = bounds.servers_needed_bounded_storage(k, f, m)
+                    # (n - (f+1)) * m must cover the kf registers.
+                    if (n - (f + 1)) * m < k * f:
+                        violations += 1
+        return violations
+
+    violations = benchmark(check)
+    emit(f"Theorem 7 accounting check — violations: {violations}")
+    assert violations == 0

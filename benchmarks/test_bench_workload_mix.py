@@ -1,0 +1,87 @@
+"""Experiment MIX — workload-mix costs across substrates.
+
+Table 1 prices *space*; this bench prices *operations* under different
+read/write mixes, completing the practical picture: the register
+emulation's reads scan every register (cost grows with k), while the RMW
+substrates' reads touch one object per server.  Benchmarks a read-heavy
+and a write-heavy mix on all three substrates.
+"""
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.abd import ABDEmulation
+from repro.core.cas_maxreg import CASABDEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+from repro.workloads.generators import (
+    read_heavy_workload,
+    write_sequential_workload,
+)
+from repro.workloads.runner import run_workload
+
+
+def _profile(substrate_name, factory, workload):
+    emulation = factory()
+    report = run_workload(emulation, workload)
+    assert report.completed_rounds == len(workload.rounds)
+    return [
+        substrate_name,
+        workload.description,
+        report.resource_consumption,
+        round(report.steps.mean_triggers(), 1),
+        round(report.steps.mean_duration(), 1),
+    ]
+
+
+def test_workload_mix(benchmark):
+    k, n, f = 2, 5, 2
+    factories = {
+        "max-register": lambda: ABDEmulation(
+            n=n, f=f, scheduler=RandomScheduler(0)
+        ),
+        "cas": lambda: CASABDEmulation(
+            n=n, f=f, scheduler=RandomScheduler(0)
+        ),
+        "register": lambda: WSRegisterEmulation(
+            k=k, n=n, f=f, scheduler=RandomScheduler(0)
+        ),
+    }
+    workloads = {
+        "write-heavy": write_sequential_workload(
+            k=k, writes_per_writer=3, reads_between=0, n_readers=1
+        ),
+        "read-heavy": read_heavy_workload(
+            k=k, n_writes=2, reads_per_write=4, n_readers=1
+        ),
+    }
+
+    def run_all():
+        rows = []
+        for mix_name, workload in workloads.items():
+            for substrate, factory in factories.items():
+                row = _profile(substrate, factory, workload)
+                row[1] = mix_name
+                rows.append(row)
+        return rows
+
+    rows = benchmark(run_all)
+    emit(
+        render_table(
+            ["substrate", "mix", "objects used", "triggers/op", "steps/op"],
+            rows,
+            title=f"Workload mixes across substrates (k={k}, n={n}, f={f})",
+        )
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for mix in ("write-heavy", "read-heavy"):
+        # Space ordering always: registers use more objects.
+        assert (
+            by_key[("register", mix)][2]
+            > by_key[("max-register", mix)][2]
+        )
+    # The CAS substrate pays Algorithm 1's loop on top of ABD.
+    assert (
+        by_key[("cas", "write-heavy")][3]
+        >= by_key[("max-register", "write-heavy")][3]
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A replicated KV store on the three base-object substrates.
+
+The paper's motivation: cloud stores expose different primitives —
+network-attached disks give plain read/write, cloud APIs give conditional
+updates (CAS), richer services give RMW.  This demo runs the library's
+:class:`repro.apps.kv.ReplicatedKVStore` on each substrate with the same
+workload (writes by several writers, crashes, reads, consistency audit)
+and compares the base-object budget — Table 1's separation on a "real"
+workload.
+
+Run:  python examples/cloud_kv_demo.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.apps.kv import ReplicatedKVStore
+
+
+def exercise(store: ReplicatedKVStore) -> None:
+    store.put("user:1", "ada")
+    store.put("user:2", "grace", writer_index=1)
+    store.put("cart:9", ["book"], writer_index=2)
+    store.put("user:1", "ada lovelace")
+
+    store.crash_server(0)           # f = 2 crashes: the store keeps going
+    store.crash_server(3)
+
+    assert store.get("user:1") == "ada lovelace"
+    assert store.get("user:2") == "grace"
+    assert store.get("cart:9") == ["book"]
+    store.put("user:2", "grace hopper", writer_index=2)
+    assert store.get("user:2") == "grace hopper"
+
+    audit = store.audit()
+    assert all(audit.values()), audit
+
+
+def main() -> None:
+    n, f, k = 5, 2, 3
+    rows = []
+    for substrate in ("max-register", "cas", "register"):
+        store = ReplicatedKVStore(substrate=substrate, n=n, f=f, k_writers=k)
+        exercise(store)
+        per_key = store.base_objects_per_key()
+        rows.append(
+            [
+                substrate,
+                len(store.keys()),
+                store.base_objects,
+                per_key[store.keys()[0]],
+                "atomic" if substrate != "register" else "WS-Regular",
+            ]
+        )
+        print(f"{substrate}: workload + 2 crashes + audit OK")
+
+    print()
+    print(
+        render_table(
+            ["substrate", "keys", "base objects", "per key", "consistency"],
+            rows,
+            title=(
+                f"Replicated KV store over n={n} servers, f={f},"
+                f" k={k} writers/key"
+            ),
+        )
+    )
+    budgets = {row[0]: row[3] for row in rows}
+    assert budgets["max-register"] == 2 * f + 1
+    assert budgets["cas"] == 2 * f + 1
+    assert budgets["register"] == k * (2 * f + 1)
+    print(
+        f"\nPlain registers cost a factor k={k} more per key at n=2f+1 —"
+        " exactly the paper's separation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Explore register layouts and the bounds surface (Figure 1, Theorem 1).
+
+Prints the paper's Figure 1 layout (n=6, k=5, f=2), then sweeps the
+server count to show where adding servers stops helping (n = kf+f+1) and
+where the lower/upper bounds coincide.
+
+Run:  python examples/layout_explorer.py
+"""
+
+from repro import RegisterLayout, bounds
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    print("=== Figure 1: the paper's example layout ===")
+    layout = RegisterLayout(k=5, n=6, f=2)
+    layout.validate()
+    print(layout.render())
+    print()
+
+    k, f = 4, 2
+    print(f"=== Theorem 1/3: bounds vs server count (k={k}, f={f}) ===")
+    rows = []
+    for n in range(2 * f + 1, bounds.saturation_n(k, f) + 3):
+        lower = bounds.register_lower_bound(k, n, f)
+        upper = bounds.register_upper_bound(k, n, f)
+        marks = []
+        if n == 2 * f + 1:
+            marks.append("n=2f+1")
+        if n == bounds.saturation_n(k, f):
+            marks.append("n=kf+f+1 (saturation)")
+        if lower == upper:
+            marks.append("tight")
+        rows.append([n, bounds.z_value(n, f), lower, upper, upper - lower,
+                     ", ".join(marks)])
+    print(render_table(["n", "z", "lower", "upper", "gap", "notes"], rows))
+
+    print()
+    print("=== Theorem 7: minimum servers under bounded storage ===")
+    rows = [
+        [m, bounds.servers_needed_bounded_storage(k, f, m)]
+        for m in (1, 2, 4, 8)
+    ]
+    print(render_table(["registers/server (m)", "servers needed"], rows,
+                       title=f"k={k}, f={f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Wait-freedom under stragglers: skewed fleets, same guarantees.
+
+Asynchrony in the paper is adversarial; in production it looks like a
+straggler — one server answering 50x slower than the rest.  This demo
+runs the same write/read workload on a uniform fleet and on a fleet with
+two heavy stragglers, showing operations complete either way (wait-
+freedom never waits on specific servers) while the step cost shifts.
+
+Run:  python examples/straggler_fleet.py
+"""
+
+from repro import WSRegisterEmulation, check_ws_regular
+from repro.analysis.resources import StepMeter
+from repro.analysis.tables import render_table
+from repro.sim.latency import straggler_fleet
+from repro.sim.scheduling import RandomScheduler
+
+
+def run_fleet(name, scheduler):
+    emu = WSRegisterEmulation(k=2, n=5, f=2, scheduler=scheduler)
+    meter = StepMeter()
+    emu.kernel.add_listener(meter)
+    writers = [emu.add_writer(i) for i in range(2)]
+    reader = emu.add_reader()
+    for index in range(4):
+        writers[index % 2].enqueue("write", f"v{index}")
+        result = emu.system.run_to_quiescence(max_steps=2_000_000)
+        assert result.satisfied, f"{name}: write stuck"
+        reader.enqueue("read")
+        result = emu.system.run_to_quiescence(max_steps=2_000_000)
+        assert result.satisfied, f"{name}: read stuck"
+    violations = check_ws_regular(emu.history)
+    assert not violations, violations
+    last = emu.history.reads[-1].result
+    return [
+        name,
+        last,
+        round(meter.mean_duration(), 1),
+        round(meter.mean_triggers(), 1),
+        "WS-Regular",
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_fleet("uniform fleet", RandomScheduler(seed=3)),
+        run_fleet(
+            "2 stragglers (50x, 20x)",
+            straggler_fleet(5, {1: 0.02, 4: 0.05}, seed=3),
+        ),
+    ]
+    print(
+        render_table(
+            ["fleet", "final read", "mean steps/op", "mean triggers/op", "history"],
+            rows,
+            title="Algorithm 2 on skewed fleets (k=2, n=5, f=2)",
+        )
+    )
+    print(
+        "\nOperations never wait on a named server — only on any n-f —"
+        "\nso stragglers stretch schedules without breaking wait-freedom"
+        " or WS-Regularity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Measurement and reporting helpers.
+
+* :mod:`repro.analysis.resources` — resource consumption, covering and
+  point-contention meters (the paper's complexity measures).
+* :mod:`repro.analysis.tables` — ASCII table rendering for the benchmark
+  harness.
+"""
+
+from repro.analysis.invariants import (
+    InvariantViolation,
+    MonotoneTimestampInvariant,
+    QuorumResponseInvariant,
+    WriterCoverInvariant,
+)
+from repro.analysis.resources import (
+    PointContentionMeter,
+    ResourceMeter,
+    StepMeter,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "InvariantViolation",
+    "MonotoneTimestampInvariant",
+    "PointContentionMeter",
+    "QuorumResponseInvariant",
+    "ResourceMeter",
+    "StepMeter",
+    "WriterCoverInvariant",
+    "render_table",
+]

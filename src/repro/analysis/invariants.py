@@ -1,0 +1,159 @@
+"""Online invariant monitors for the paper's structural lemmas.
+
+Attach these listeners to a kernel and they assert, after every step,
+properties the paper proves about Algorithm 2's executions:
+
+* :class:`WriterCoverInvariant` — **Observation 3**: a writer with no
+  in-flight high-level write covers at most f base registers.
+* :class:`MonotoneTimestampInvariant` — **Lemma 6 / Corollary 3**: in
+  write-sequential runs, each completed high-level write carries a
+  strictly larger timestamp than the writes preceding it (checked from
+  the TSVal payloads of low-level writes).
+* :class:`QuorumResponseInvariant` — clients never wait for more than
+  ``n - f`` servers: at every step, each client's *oldest* high-level
+  operation has pending low-level ops on at most f distinct correct
+  servers once it has gathered its quorum (a liveness-debugging aid).
+
+The property-based tests attach these to randomized runs so a regression
+in the algorithm trips an invariant at the exact step it happens, rather
+than surfacing later as a checker violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.sim.events import (
+    EventListener,
+    InvokeEvent,
+    RespondEvent,
+    ReturnEvent,
+    TriggerEvent,
+)
+from repro.sim.ids import ClientId, ObjectId
+from repro.sim.values import TSVal
+
+
+class InvariantViolation(AssertionError):
+    """An online invariant failed; the message pinpoints step and actor."""
+
+
+class WriterCoverInvariant(EventListener):
+    """Observation 3: idle writers cover at most f registers."""
+
+    def __init__(self, f: int, write_name: str = "write"):
+        self.f = f
+        self.write_name = write_name
+        self._pending: "Dict[ClientId, Set[int]]" = {}
+        self._in_flight: "Set[ClientId]" = set()
+        self.checks = 0
+
+    def on_invoke(self, event: InvokeEvent) -> None:
+        if event.name == self.write_name:
+            self._in_flight.add(event.client_id)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if event.name == self.write_name:
+            self._in_flight.discard(event.client_id)
+
+    def on_trigger(self, event: TriggerEvent) -> None:
+        if event.op.is_mutator:
+            self._pending.setdefault(event.op.client_id, set()).add(
+                event.op.op_id.value
+            )
+
+    def on_respond(self, event: RespondEvent) -> None:
+        if event.op.is_mutator:
+            pending = self._pending.get(event.op.client_id)
+            if pending is not None:
+                pending.discard(event.op.op_id.value)
+
+    def on_step(self, time: int) -> None:
+        self.checks += 1
+        for client_id, pending in self._pending.items():
+            if client_id in self._in_flight:
+                continue  # mid-operation: the bound applies at idle time
+            if len(pending) > self.f:
+                raise InvariantViolation(
+                    f"Observation 3 violated at t={time}: idle writer"
+                    f" {client_id} covers {len(pending)} > f={self.f}"
+                    " registers"
+                )
+
+
+class MonotoneTimestampInvariant(EventListener):
+    """Lemma 6: sequential high-level writes use increasing timestamps.
+
+    Watches the TSVal payloads of low-level writes: the timestamps used
+    by a high-level write must strictly exceed those of every write that
+    *returned* before it was invoked.
+    """
+
+    def __init__(self, write_name: str = "write"):
+        self.write_name = write_name
+        #: largest timestamp used by any returned high-level write
+        self._completed_ts = 0
+        #: seq -> max ts observed among the op's low-level writes
+        self._op_ts: "Dict[int, int]" = {}
+        #: seq -> floor it must exceed (snapshot at invocation)
+        self._floor: "Dict[int, int]" = {}
+
+    def on_invoke(self, event: InvokeEvent) -> None:
+        if event.name == self.write_name:
+            self._floor[event.seq] = self._completed_ts
+            self._op_ts[event.seq] = 0
+
+    def on_trigger(self, event: TriggerEvent) -> None:
+        op = event.op
+        seq = op.highlevel_seq
+        if seq not in self._op_ts or not op.is_mutator:
+            return
+        value = op.args[0] if op.args else None
+        if isinstance(value, TSVal):
+            self._op_ts[seq] = max(self._op_ts[seq], value.ts)
+            if value.ts <= self._floor[seq]:
+                raise InvariantViolation(
+                    f"Lemma 6 violated at t={event.time}: write #{seq}"
+                    f" used ts={value.ts} <= floor {self._floor[seq]}"
+                )
+
+    def on_return(self, event: ReturnEvent) -> None:
+        if event.seq in self._op_ts:
+            self._completed_ts = max(
+                self._completed_ts, self._op_ts.pop(event.seq)
+            )
+            self._floor.pop(event.seq, None)
+
+
+class QuorumResponseInvariant(EventListener):
+    """No client accumulates pending ops on more than ``max_servers``
+    distinct correct servers (a deadlock early-warning, not a paper
+    lemma: useful when developing new emulations on the substrate)."""
+
+    def __init__(self, object_map, max_servers: int):
+        self.object_map = object_map
+        self.max_servers = max_servers
+        self._pending: "Dict[ClientId, Dict[int, ObjectId]]" = {}
+
+    def on_trigger(self, event: TriggerEvent) -> None:
+        self._pending.setdefault(event.op.client_id, {})[
+            event.op.op_id.value
+        ] = event.op.object_id
+
+    def on_respond(self, event: RespondEvent) -> None:
+        ops = self._pending.get(event.op.client_id)
+        if ops is not None:
+            ops.pop(event.op.op_id.value, None)
+
+    def on_step(self, time: int) -> None:
+        for client_id, ops in self._pending.items():
+            correct = {
+                self.object_map.server_of(oid)
+                for oid in ops.values()
+                if not self.object_map.object(oid).crashed
+            }
+            if len(correct) > self.max_servers:
+                raise InvariantViolation(
+                    f"client {client_id} has pending ops on {len(correct)}"
+                    f" correct servers (> {self.max_servers}) at t={time}"
+                )

@@ -1,0 +1,35 @@
+"""ASCII table rendering for the benchmark harness.
+
+The benches print paper-shaped tables; this keeps the formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def render_table(
+    headers: "Sequence[str]",
+    rows: "Sequence[Sequence[Any]]",
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+
+    def fmt(row: "List[str]") -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Application-level services built on the register emulations.
+
+The paper motivates its question with cloud storage services built from
+weak per-server primitives; this subpackage shows the emulations carrying
+two such services end to end:
+
+* :mod:`repro.apps.kv` — a replicated key-value store with a pluggable
+  substrate (registers / max-registers / CAS) and per-key consistency
+  auditing.
+* :mod:`repro.apps.epoch` — a monotone epoch (configuration version)
+  service on the f-tolerant max-register.
+* :mod:`repro.apps.config` — an epoch-guarded configuration store (the
+  reconfiguration kernel the paper's citations consume).
+"""
+
+from repro.apps.config import ConfigService, InstallRaced
+from repro.apps.epoch import EpochService
+from repro.apps.kv import KVConfig, ReplicatedKVStore
+
+__all__ = [
+    "ConfigService",
+    "EpochService",
+    "InstallRaced",
+    "KVConfig",
+    "ReplicatedKVStore",
+]

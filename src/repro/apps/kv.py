@@ -1,0 +1,265 @@
+"""A replicated key-value store over register emulations.
+
+Each key is one emulated f-tolerant register; the substrate — which base
+object type the servers expose — is pluggable, so the store directly
+inherits Table 1's space economics:
+
+* ``"max-register"`` / ``"cas"``: 2f+1 base objects per key, unbounded
+  writers;
+* ``"register"``: kf + ceil(k/z)(f+1) base objects per key, k fixed
+  writers (the store enforces the writer bound).
+
+The store exposes synchronous ``put``/``get`` (each drives the simulated
+system to quiescence) plus an ``audit()`` that replays every key's
+history through the appropriate consistency checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.consistency.register_atomicity import is_register_history_atomic
+from repro.consistency.ws import check_ws_regular
+from repro.core.abd import ABDEmulation
+from repro.core.cas_maxreg import CASABDEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+
+SUBSTRATES = ("register", "max-register", "cas")
+
+
+class _Tombstone:
+    """Sentinel written by :meth:`ReplicatedKVStore.delete`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<deleted>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Tombstone)
+
+    def __hash__(self) -> int:
+        return hash("_Tombstone")
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass
+class KVConfig:
+    """Deployment parameters of the store.
+
+    ``shared_fleet=True`` (register substrate only) hosts every key on
+    one physical fleet: a single crash event hits all keys and per-server
+    storage is the sum over keys — the realistic consolidation regime.
+    ``max_keys`` bounds the number of keys provisioned on the shared
+    fleet.
+    """
+
+    substrate: str = "max-register"
+    n: int = 5
+    f: int = 2
+    k_writers: int = 4
+    seed: int = 0
+    shared_fleet: bool = False
+    max_keys: int = 16
+
+    def validate(self) -> None:
+        if self.substrate not in SUBSTRATES:
+            raise ValueError(
+                f"substrate must be one of {SUBSTRATES},"
+                f" got {self.substrate!r}"
+            )
+        if self.n < 2 * self.f + 1:
+            raise ValueError(
+                f"n must be at least 2f+1 = {2 * self.f + 1}, got {self.n}"
+            )
+        if self.k_writers <= 0:
+            raise ValueError("k_writers must be positive")
+        if self.shared_fleet and self.substrate != "register":
+            raise ValueError(
+                "shared_fleet deployment is implemented for the register"
+                " substrate"
+            )
+        if self.max_keys <= 0:
+            raise ValueError("max_keys must be positive")
+
+
+@dataclass
+class _KeyState:
+    emulation: Any
+    writers: "Dict[int, Any]" = field(default_factory=dict)
+    reader: Any = None
+
+
+class ReplicatedKVStore:
+    """One emulated register per key, all on the chosen substrate."""
+
+    def __init__(self, config: "Optional[KVConfig]" = None, **overrides):
+        self.config = config or KVConfig(**overrides)
+        if overrides and config is not None:
+            raise ValueError("pass either a KVConfig or keyword overrides")
+        self.config.validate()
+        self._keys: "Dict[str, _KeyState]" = {}
+        self._seed = self.config.seed
+        self._fleet = None
+        self._fleet_next = 0
+        if self.config.shared_fleet:
+            from repro.core.multi import MultiRegisterDeployment
+            from repro.sim.scheduling import RandomScheduler
+
+            self._fleet = MultiRegisterDeployment(
+                m=self.config.max_keys,
+                k=self.config.k_writers,
+                n=self.config.n,
+                f=self.config.f,
+                scheduler=RandomScheduler(self.config.seed),
+            )
+
+    # -- deployment -----------------------------------------------------------
+
+    def _new_emulation(self):
+        cfg = self.config
+        self._seed += 1
+        scheduler = RandomScheduler(self._seed)
+        if cfg.substrate == "register":
+            return WSRegisterEmulation(
+                k=cfg.k_writers, n=cfg.n, f=cfg.f, scheduler=scheduler
+            )
+        if cfg.substrate == "max-register":
+            return ABDEmulation(n=cfg.n, f=cfg.f, scheduler=scheduler)
+        return CASABDEmulation(n=cfg.n, f=cfg.f, scheduler=scheduler)
+
+    def _key_state(self, key: str) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            if self._fleet is not None:
+                if self._fleet_next >= self.config.max_keys:
+                    raise RuntimeError(
+                        f"shared fleet provisioned for"
+                        f" {self.config.max_keys} keys; {key!r} exceeds it"
+                    )
+                emulation = self._fleet.register(self._fleet_next)
+                self._fleet_next += 1
+            else:
+                emulation = self._new_emulation()
+            state = _KeyState(emulation=emulation)
+            state.reader = state.emulation.add_reader()
+            self._keys[key] = state
+        return state
+
+    def _writer(self, state: _KeyState, writer_index: int):
+        if not 0 <= writer_index < self.config.k_writers:
+            raise ValueError(
+                f"writer index {writer_index} out of range"
+                f" [0, {self.config.k_writers})"
+            )
+        runtime = state.writers.get(writer_index)
+        if runtime is None:
+            runtime = state.emulation.add_writer(writer_index)
+            state.writers[writer_index] = runtime
+        return runtime
+
+    # -- operations -------------------------------------------------------------
+
+    def put(self, key: str, value: Any, writer_index: int = 0) -> None:
+        """Write ``value`` to ``key`` on behalf of ``writer_index``."""
+        state = self._key_state(key)
+        writer = self._writer(state, writer_index)
+        writer.enqueue("write", value)
+        result = state.emulation.system.run_to_quiescence()
+        if not result.satisfied:
+            raise RuntimeError(f"put({key!r}) did not complete: {result}")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key``; returns ``default`` for never-written or deleted
+        keys."""
+        state = self._keys.get(key)
+        if state is None:
+            return default
+        state.reader.enqueue("read")
+        result = state.emulation.system.run_to_quiescence()
+        if not result.satisfied:
+            raise RuntimeError(f"get({key!r}) did not complete: {result}")
+        value = state.emulation.history.reads[-1].result
+        if value is None or value == TOMBSTONE:
+            return default
+        return value
+
+    def delete(self, key: str, writer_index: int = 0) -> None:
+        """Delete ``key`` (writes a tombstone; registers cannot shrink).
+
+        Deleting an unknown key is a no-op.
+        """
+        if key in self._keys:
+            self.put(key, TOMBSTONE, writer_index=writer_index)
+
+    def keys(self) -> "List[str]":
+        return sorted(self._keys)
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """Read every key once; a per-key-consistent view of the store.
+
+        Not an atomic multi-key snapshot (keys are independent emulated
+        registers); each entry individually satisfies the substrate's
+        consistency condition.  Deleted keys are omitted.
+        """
+        view = {}
+        for key in self.keys():
+            value = self.get(key)
+            if value is not None:
+                view[key] = value
+        return view
+
+    # -- failure injection ---------------------------------------------------------
+
+    def crash_server(self, server_index: int) -> None:
+        """Crash server ``server_index``.
+
+        On a shared fleet this is one crash event hitting every key; on
+        per-key deployments the crash is mirrored into each (the store
+        models one fleet either way).
+        """
+        from repro.sim.ids import ServerId
+
+        if not 0 <= server_index < self.config.n:
+            raise ValueError(f"server index {server_index} out of range")
+        if self._fleet is not None:
+            self._fleet.crash_server(server_index)
+            return
+        for state in self._keys.values():
+            state.emulation.kernel.crash_server(ServerId(server_index))
+
+    # -- accounting and auditing ------------------------------------------------------
+
+    @property
+    def base_objects(self) -> int:
+        """Total base objects across all keys (Table 1, aggregated)."""
+        return sum(self.base_objects_per_key().values())
+
+    def base_objects_per_key(self) -> "Dict[str, int]":
+        if self._fleet is not None:
+            return {
+                key: state.emulation.layout.total_registers
+                for key, state in self._keys.items()
+            }
+        return {
+            key: state.emulation.object_map.n_objects
+            for key, state in self._keys.items()
+        }
+
+    def audit(self) -> "Dict[str, bool]":
+        """Check every key's history against its consistency condition.
+
+        The RMW substrates (with read write-back) are atomic; the register
+        substrate guarantees WS-Regularity.  Returns key -> ok.
+        """
+        results = {}
+        for key, state in self._keys.items():
+            history = state.emulation.history
+            if self.config.substrate == "register":
+                ok = not check_ws_regular(history)
+            else:
+                ok = is_register_history_atomic(history)
+            results[key] = ok
+        return results

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bounds  -k K -n N -f F``  — print the Table 1 row for the parameters.
+* ``layout  -k K -n N -f F``  — print the Figure 1-style register layout.
+* ``sweep   -k K -f F``       — register bounds across the server count.
+* ``lemma1  -k K -n N -f F``  — run the lower-bound adversary against
+  Algorithm 2 and print the covering growth.
+* ``demo``                    — a quick write/read/crash walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+from repro.core import bounds
+from repro.core.layout import RegisterLayout
+from repro.core.lemma1 import Lemma1Runner
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+
+
+def _add_knf(parser: argparse.ArgumentParser, need_n: bool = True) -> None:
+    parser.add_argument("-k", type=int, default=3, help="number of writers")
+    if need_n:
+        parser.add_argument("-n", type=int, default=7, help="number of servers")
+    parser.add_argument("-f", type=int, default=2, help="failure threshold")
+
+
+def cmd_bounds(args) -> int:
+    rows = []
+    for base in ("max-register", "cas", "register"):
+        row = bounds.table1_row(base, args.k, args.n, args.f)
+        rows.append([base, row["lower"], row["upper"]])
+    print(
+        render_table(
+            ["base object", "lower bound", "upper bound"],
+            rows,
+            title=f"Table 1 @ k={args.k}, n={args.n}, f={args.f}",
+        )
+    )
+    return 0
+
+
+def cmd_layout(args) -> int:
+    layout = RegisterLayout(args.k, args.n, args.f)
+    layout.validate()
+    print(layout.render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    for n in range(2 * args.f + 1, bounds.saturation_n(args.k, args.f) + 3):
+        rows.append(
+            [
+                n,
+                bounds.register_lower_bound(args.k, n, args.f),
+                bounds.register_upper_bound(args.k, n, args.f),
+            ]
+        )
+    print(
+        render_table(
+            ["n", "lower", "upper"],
+            rows,
+            title=f"register bounds vs n @ k={args.k}, f={args.f}",
+        )
+    )
+    return 0
+
+
+def cmd_lemma1(args) -> int:
+    def factory(scheduler):
+        return WSRegisterEmulation(
+            k=args.k, n=args.n, f=args.f, scheduler=scheduler
+        )
+
+    runner = Lemma1Runner(factory, k=args.k, f=args.f)
+    reports = runner.run()
+    rows = [
+        [r.index, r.covered, r.index * args.f, r.covered_servers_in_F]
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["write", "covered", ">= i*f", "covered on F"],
+            rows,
+            title=(
+                f"Lemma 1 adversary vs Algorithm 2 @ k={args.k},"
+                f" n={args.n}, f={args.f}"
+            ),
+        )
+    )
+    runner.assert_all_claims()
+    print("all Lemma 1 claims hold")
+    return 0
+
+
+def cmd_ablate(args) -> int:
+    from repro.core.ablation import (
+        baseline_no_violation,
+        cover_avoidance_violation,
+        small_quorum_violation,
+    )
+
+    rows = []
+    for name, fn in (
+        ("Algorithm 2 (intact)", baseline_no_violation),
+        ("no cover avoidance", cover_avoidance_violation),
+        ("write quorum |R|-f-1", small_quorum_violation),
+    ):
+        violations = fn()
+        rows.append(
+            [
+                name,
+                "SAFE" if not violations else "WS-Safety VIOLATED",
+                str(violations[0]) if violations else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["variant", "outcome", "detail"],
+            rows,
+            title="Algorithm 2 ablations under the covering adversary",
+        )
+    )
+    return 0
+
+
+def cmd_theorem5(args) -> int:
+    from repro.core.theorem5 import partition_violation
+
+    violations = partition_violation(args.f)
+    print(
+        f"n = 2f = {2 * args.f} servers, f = {args.f}:"
+        f" split-brain run -> {violations[0] if violations else 'no violation?'}"
+    )
+    print(f"Theorem 5 minimum: {bounds.min_servers(args.f)} servers")
+    return 0 if violations else 1
+
+
+def cmd_experiment(args) -> int:
+    import json
+
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.list or (args.id is None and not args.all):
+        print("available experiments:")
+        for experiment_id in list_experiments():
+            print(f"  {experiment_id}")
+        return 0
+    ids = list_experiments() if args.all else [args.id]
+    results = [run_experiment(experiment_id) for experiment_id in ids]
+    if args.json:
+        payload = [result.to_dict() for result in results]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(results)} experiment(s) to {args.json}")
+    else:
+        for result in results:
+            print(result.render())
+            print()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    emu = WSRegisterEmulation(k=1, n=5, f=2, scheduler=RandomScheduler(0))
+    writer = emu.add_writer(0)
+    reader = emu.add_reader()
+    writer.enqueue("write", "hello, fault tolerance")
+    emu.system.run_to_quiescence()
+    emu.kernel.crash_server(ServerId(0))
+    emu.kernel.crash_server(ServerId(1))
+    reader.enqueue("read")
+    emu.system.run_to_quiescence()
+    value = emu.history.reads[-1].result
+    print(
+        f"wrote and read back {value!r} through 2 server crashes"
+        f" ({emu.layout.total_registers} base registers, Theorem 3)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Space Complexity of Fault-Tolerant Register Emulations"
+            " (Chockler & Spiegelman, PODC 2017) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bounds = sub.add_parser("bounds", help="Table 1 row for (k, n, f)")
+    _add_knf(p_bounds)
+    p_bounds.set_defaults(fn=cmd_bounds)
+
+    p_layout = sub.add_parser("layout", help="Figure 1 register layout")
+    _add_knf(p_layout)
+    p_layout.set_defaults(fn=cmd_layout)
+
+    p_sweep = sub.add_parser("sweep", help="register bounds vs n")
+    _add_knf(p_sweep, need_n=False)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_lemma1 = sub.add_parser("lemma1", help="run the covering adversary")
+    _add_knf(p_lemma1)
+    p_lemma1.set_defaults(fn=cmd_lemma1)
+
+    p_ablate = sub.add_parser(
+        "ablate", help="break Algorithm 2's mechanisms and show violations"
+    )
+    p_ablate.set_defaults(fn=cmd_ablate)
+
+    p_th5 = sub.add_parser(
+        "theorem5", help="split-brain demonstration on 2f servers"
+    )
+    p_th5.add_argument("-f", type=int, default=1, help="failure threshold")
+    p_th5.set_defaults(fn=cmd_theorem5)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure by id"
+    )
+    p_exp.add_argument("id", nargs="?", help="experiment id (e.g. T1, L1)")
+    p_exp.add_argument(
+        "--list", action="store_true", help="list experiment ids"
+    )
+    p_exp.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    p_exp.add_argument(
+        "--json", metavar="PATH", help="write results as JSON to PATH"
+    )
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_demo = sub.add_parser("demo", help="quick write/read/crash demo")
+    p_demo.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""A general linearizability (atomicity) checker.
+
+Implements the classic Wing & Gong search with memoization (in the style
+later refined by Lowe): a depth-first enumeration of linearization orders,
+pruned by the real-time precedence relation and memoized on
+``(set-of-linearized-ops, object-state)``.
+
+Semantics of pending operations follow the paper's definition of a
+linearization: a linearization contains **all complete** operations plus
+**any subset** of the pending ones, each assigned a matching response.  A
+pending operation therefore (a) may be omitted entirely, and (b) if
+included, is allowed to produce any result the spec yields.
+
+Exponential in the worst case, as the problem demands (checking
+linearizability is NP-complete); our histories are small and heavily
+constrained, so in practice this is fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.consistency.specs import SequentialSpec
+from repro.sim.history import HistoryOp
+
+
+def _precedence_masks(ops: "Sequence[HistoryOp]") -> "List[int]":
+    """For each op, a bitmask of the ops that must be linearized before it."""
+    masks = []
+    for op in ops:
+        mask = 0
+        for j, other in enumerate(ops):
+            if other is op:
+                continue
+            if other.precedes(op):
+                mask |= 1 << j
+        masks.append(mask)
+    return masks
+
+
+def find_linearization(
+    ops: "Sequence[HistoryOp]",
+    spec: SequentialSpec,
+) -> "Optional[List[HistoryOp]]":
+    """Return a valid linearization of ``ops``, or ``None`` if none exists.
+
+    ``ops`` is an arbitrary iterable of high-level operations (not
+    necessarily a full history — the WS checkers pass the subsequence of
+    writes plus one read).
+    """
+    ops = list(ops)
+    n = len(ops)
+    if n == 0:
+        return []
+    masks = _precedence_masks(ops)
+    complete_mask = 0
+    for i, op in enumerate(ops):
+        if op.complete:
+            complete_mask |= 1 << i
+    full = (1 << n) - 1
+
+    # Memoize failed (done-set, state-key) pairs.
+    failed: "set[Tuple[int, Hashable]]" = set()
+    order: "List[HistoryOp]" = []
+
+    def search(done: int, state: Any) -> bool:
+        if done & complete_mask == complete_mask:
+            # All complete ops linearized; remaining pending ops may be
+            # omitted, so we are finished.
+            return True
+        key = (done, spec.state_key(state))
+        if key in failed:
+            return False
+        for i in range(n):
+            bit = 1 << i
+            if done & bit:
+                continue
+            if masks[i] & ~done:
+                continue  # some predecessor not yet linearized
+            op = ops[i]
+            new_state, result = spec.apply(state, op.name, op.args)
+            if op.complete and result != op.result:
+                continue  # observed result contradicts this order
+            order.append(op)
+            if search(done | bit, new_state):
+                return True
+            order.pop()
+        failed.add(key)
+        return False
+
+    if search(0, spec.initial_state()):
+        return list(order)
+    return None
+
+
+def is_linearizable(
+    ops: "Sequence[HistoryOp]",
+    spec: SequentialSpec,
+) -> bool:
+    """True iff the operations admit a linearization under ``spec``."""
+    return find_linearization(ops, spec) is not None

@@ -1,0 +1,166 @@
+"""Multi-writer regularity conditions (Shao, Welch, Pierce & Lee [34]).
+
+The paper's WS-Regularity constrains only *write-sequential* runs and is
+"weaker than the multi-writer regularity generalizations defined in
+[34]"; it also leaves open whether its lower bound is tight for those
+stronger conditions.  To make the comparison concrete this module
+implements the two ends of the [34] spectrum over arbitrary histories:
+
+* **MW-Weak** (per-read write orders): every complete read, together with
+  *all* writes, admits a linearization — but different reads may order
+  the writes differently.
+* **MW-Strong** (one write order): a *single* permutation of the writes,
+  consistent with their real-time order, works for every read
+  simultaneously.
+
+Facts the test-suite checks empirically: atomicity implies MW-Strong
+implies MW-Weak; on write-sequential histories both collapse to the
+paper's WS-Regularity (the write order is forced); ABD without read
+write-back satisfies MW-Weak on concurrent-write histories.
+
+Both checkers are exact searches (exponential worst case) intended for
+the small histories the simulator produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.consistency.linearizability import is_linearizable
+from repro.consistency.specs import RegisterSpec
+from repro.consistency.ws import WSViolation
+from repro.sim.history import History, HistoryOp
+
+
+def _complete_reads(history: History) -> "List[HistoryOp]":
+    return [r for r in history.reads if r.complete]
+
+
+def check_mw_regular_weak(
+    history: History, initial_value: Any = None
+) -> "List[WSViolation]":
+    """MW-Weak violations: reads that cannot be linearized with the writes.
+
+    Each read is checked independently against the full write set (the
+    literal per-read generalization of Lamport regularity to multiple
+    writers).
+    """
+    writes = history.writes
+    spec = RegisterSpec(initial_value)
+    violations = []
+    for read in _complete_reads(history):
+        if not is_linearizable(writes + [read], spec):
+            violations.append(
+                WSViolation(read, allowed=[], condition="MW-Weak")
+            )
+    return violations
+
+
+def _write_orders(writes: "Sequence[HistoryOp]"):
+    """All permutations of the writes consistent with real-time order."""
+    remaining = list(writes)
+
+    def extend(prefix, rest):
+        if not rest:
+            yield list(prefix)
+            return
+        for index, candidate in enumerate(rest):
+            others = rest[:index] + rest[index + 1 :]
+            # candidate may come next iff no other remaining write
+            # precedes it.
+            if any(other.precedes(candidate) for other in others):
+                continue
+            prefix.append(candidate)
+            yield from extend(prefix, others)
+            prefix.pop()
+
+    yield from extend([], remaining)
+
+
+def _read_fits_order(
+    order: "Sequence[HistoryOp]", read: HistoryOp, initial_value: Any
+) -> bool:
+    """Can ``read`` be inserted into this write order legally?"""
+    # Position p means: after order[p-1], before order[p].
+    for position in range(len(order) + 1):
+        before = order[:position]
+        after = order[position:]
+        if any(read.precedes(write) for write in before):
+            continue  # a write after the read in real time placed before it
+        if any(write.precedes(read) for write in after):
+            continue  # a write before the read in real time placed after it
+        expected = before[-1].args[0] if before else initial_value
+        if read.result == expected:
+            return True
+    return False
+
+
+def classify_history(
+    history: History,
+    initial_value: Any = None,
+    max_writes: int = 7,
+) -> str:
+    """The strongest condition a register history satisfies.
+
+    Returns one of ``"atomic"``, ``"mw-strong"``, ``"mw-weak"``,
+    ``"ws-regular"`` (write-sequential histories only), ``"ws-safe"``
+    or ``"none"`` — in that order of strength.  Useful for triaging a
+    failing emulation: the classification names exactly how far its
+    guarantees degraded.
+    """
+    from repro.consistency.register_atomicity import (
+        is_register_history_atomic,
+    )
+    from repro.consistency.ws import check_ws_regular, check_ws_safe
+
+    if is_register_history_atomic(history, initial_value=initial_value):
+        return "atomic"
+    if not check_mw_regular_strong(
+        history, initial_value=initial_value, max_writes=max_writes
+    ):
+        return "mw-strong"
+    if not check_mw_regular_weak(history, initial_value=initial_value):
+        return "mw-weak"
+    if history.is_write_sequential() and not check_ws_regular(
+        history, initial_value=initial_value
+    ):
+        return "ws-regular"
+    if not check_ws_safe(history, initial_value=initial_value):
+        return "ws-safe"
+    return "none"
+
+
+def check_mw_regular_strong(
+    history: History,
+    initial_value: Any = None,
+    max_writes: int = 7,
+) -> "List[WSViolation]":
+    """MW-Strong violations (empty list = satisfied).
+
+    Searches for one real-time-consistent write permutation serving every
+    read.  Histories with more than ``max_writes`` writes are rejected to
+    keep the permutation search bounded (raise the cap explicitly for
+    bigger histories).
+
+    When no single order works, every read is reported (the condition is
+    global, so no specific read is "the" violator); callers usually only
+    test emptiness.
+    """
+    writes = history.writes
+    if len(writes) > max_writes:
+        raise ValueError(
+            f"history has {len(writes)} writes; raise max_writes"
+            f" (exponential search) to check it"
+        )
+    reads = _complete_reads(history)
+    if not reads:
+        return []
+    for order in _write_orders(writes):
+        if all(
+            _read_fits_order(order, read, initial_value) for read in reads
+        ):
+            return []
+    return [
+        WSViolation(read, allowed=[], condition="MW-Strong")
+        for read in reads
+    ]

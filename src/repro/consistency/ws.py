@@ -1,0 +1,162 @@
+"""Write-Sequential Regularity and Write-Sequential Safety checkers.
+
+Definitions (Section 2 / Appendix A.3 of the paper):
+
+* **WS-Regular**: for every write-sequential schedule, for each complete
+  read ``rd`` there is a linearization of the subsequence consisting of
+  ``rd`` and all the writes.
+* **WS-Safe**: as WS-Regular, but only required for complete reads that
+  are not concurrent with any write.
+
+Because the schedules are write-sequential, the writes are totally ordered
+by real time and the checks collapse to exact linear-time conditions:
+
+* Let ``p`` be the last write that *precedes* ``rd`` (returns before the
+  read is invoked), or none.
+* WS-Safe (read not concurrent with any write): ``rd`` must return
+  ``p``'s value, or the initial value if there is no preceding write.
+* WS-Regular: ``rd`` may return the value of any write ``W`` that (a)
+  ``rd`` does not precede (so ``W`` can be linearized before ``rd``) and
+  (b) is not followed by a complete write that precedes ``rd`` — i.e.
+  ``W = p`` or any write after ``p`` concurrent with ``rd``; plus the
+  initial value when ``p`` is none.
+
+Both checkers also offer a slow-path cross-check via the general
+linearizability search (used in the test suite to validate the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set
+
+from repro.consistency.linearizability import is_linearizable
+from repro.consistency.specs import RegisterSpec
+from repro.sim.history import History, HistoryOp
+
+
+@dataclass
+class WSViolation:
+    """A read that violates the checked condition."""
+
+    read: HistoryOp
+    allowed: "List[Any]"
+    condition: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.condition} violation: {self.read} returned"
+            f" {self.read.result!r}, allowed {self.allowed!r}"
+        )
+
+
+def _ordered_writes(history: History) -> "List[HistoryOp]":
+    """Writes in their (write-sequential) real-time order."""
+    return sorted(history.writes, key=lambda w: w.invoke_time)
+
+
+def _written_value(write: HistoryOp) -> Any:
+    (value,) = write.args
+    return value
+
+
+def _last_preceding_write_index(
+    writes: "List[HistoryOp]", read: HistoryOp
+) -> int:
+    """Index of the last write preceding ``read``; -1 if none."""
+    last = -1
+    for index, write in enumerate(writes):
+        if write.precedes(read):
+            last = index
+    return last
+
+
+def valid_read_values_ws_safe(
+    history: History, read: HistoryOp, initial_value: Any = None
+) -> "List[Any]":
+    """Values WS-Safety allows ``read`` to return (singleton or empty).
+
+    Only meaningful for reads not concurrent with any write; for other
+    reads WS-Safety imposes no constraint and every value is allowed —
+    signalled by returning ``None``.
+    """
+    writes = _ordered_writes(history)
+    if any(read.concurrent_with(write) for write in writes):
+        return None  # unconstrained
+    last = _last_preceding_write_index(writes, read)
+    if last < 0:
+        return [initial_value]
+    return [_written_value(writes[last])]
+
+
+def valid_read_values_ws_regular(
+    history: History, read: HistoryOp, initial_value: Any = None
+) -> "List[Any]":
+    """Values WS-Regularity allows ``read`` to return."""
+    writes = _ordered_writes(history)
+    last = _last_preceding_write_index(writes, read)
+    allowed: "List[Any]" = []
+    if last < 0:
+        allowed.append(initial_value)
+    for index, write in enumerate(writes):
+        if index < last:
+            continue  # superseded by a write that must precede the read
+        if read.precedes(write):
+            continue  # the write must follow the read
+        allowed.append(_written_value(write))
+    return allowed
+
+
+def check_ws_safe(
+    history: History, initial_value: Any = None
+) -> "List[WSViolation]":
+    """All WS-Safety violations in a history (empty list = satisfied).
+
+    If the history is not write-sequential the condition is vacuous and an
+    empty list is returned.
+    """
+    if not history.is_write_sequential():
+        return []
+    violations = []
+    for read in history.reads:
+        if not read.complete:
+            continue
+        allowed = valid_read_values_ws_safe(history, read, initial_value)
+        if allowed is None:
+            continue  # concurrent with a write: unconstrained
+        if read.result not in allowed:
+            violations.append(WSViolation(read, allowed, "WS-Safe"))
+    return violations
+
+
+def check_ws_regular(
+    history: History,
+    initial_value: Any = None,
+    cross_check: bool = False,
+) -> "List[WSViolation]":
+    """All WS-Regularity violations in a history (empty list = satisfied).
+
+    With ``cross_check=True`` every read is additionally validated through
+    the general linearizability search over ``writes + {rd}`` — the
+    literal Appendix A.3 definition — and a disagreement raises
+    ``AssertionError`` (used by the test suite to validate the fast path).
+    """
+    if not history.is_write_sequential():
+        return []
+    violations = []
+    writes = _ordered_writes(history)
+    for read in history.reads:
+        if not read.complete:
+            continue
+        allowed = valid_read_values_ws_regular(history, read, initial_value)
+        ok = read.result in allowed
+        if cross_check:
+            spec = RegisterSpec(initial_value)
+            slow = is_linearizable(writes + [read], spec)
+            assert slow == ok, (
+                f"fast/slow WS-Regular disagreement on {read}:"
+                f" fast={ok} slow={slow}"
+            )
+        if not ok:
+            violations.append(WSViolation(read, allowed, "WS-Regular"))
+    return violations

@@ -1,0 +1,159 @@
+"""Multi-writer ABD over one max-register per server.
+
+The paper observes (Section 1, "Results") that the per-server code of
+multi-writer ABD can be encapsulated into the ``write-max`` / ``read-max``
+primitives of a max-register, so the classic 2f+1 upper bound carries over
+to max-register base objects.  This module implements exactly that:
+
+* ``n >= 2f+1`` servers, each storing **one** max-register whose value
+  domain is :class:`~repro.sim.values.TSVal` (lexicographic on
+  ``(ts, wid)``).
+* ``write(v)``: read-max from ``n - f`` servers, pick ``ts = max + 1``,
+  write-max ``<ts, wid, v>`` to ``n - f`` servers.
+* ``read()``: read-max from ``n - f`` servers, take the maximum; in the
+  *atomic* variant the reader writes the maximum back to ``n - f``
+  servers before returning (readers must write for atomicity — the
+  paper's motivation for studying regularity instead); the *regular*
+  variant skips the write-back.
+
+Resource complexity: ``n`` max-registers — ``2f + 1`` when run at the
+minimum server count, matching both sides of Table 1's max-register row.
+The number of writers is unbounded (no dependence on ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.client import ClientProtocol, Context
+from repro.sim.history import History
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.kernel import Environment
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.scheduling import Scheduler
+from repro.sim.system import SimSystem, build_system
+from repro.sim.values import TSVal, bottom_tsval, max_tsval
+
+
+class ABDClient(ClientProtocol):
+    """Client-side ABD state machine (writers and readers alike)."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        writer_id: int,
+        initial_value: Any = None,
+        write_back: bool = True,
+    ):
+        self.n = n
+        self.f = f
+        self.writer_id = writer_id
+        self.initial_value = initial_value
+        self.write_back = write_back
+        self._results: "Dict[OpId, Any]" = {}
+
+    # -- quorum round ------------------------------------------------------
+
+    def _quorum(self, ctx: Context, kind: OpKind, args: tuple):
+        """Trigger ``kind(args)`` on every server's object, await n-f."""
+        ops = [
+            ctx.trigger(ObjectId(i), kind, *args) for i in range(self.n)
+        ]
+        needed = self.n - self.f
+        yield lambda: sum(
+            1 for op in ops if op in self._results
+        ) >= needed
+        return [self._results[op] for op in ops if op in self._results]
+
+    # -- high-level operations ------------------------------------------------
+
+    def op_write(self, ctx: Context, value: Any):
+        responses = yield from self._quorum(ctx, OpKind.READ_MAX, ())
+        ts = max_tsval(responses).ts + 1
+        tagged = TSVal(ts=ts, wid=self.writer_id, val=value)
+        yield from self._quorum(ctx, OpKind.WRITE_MAX, (tagged,))
+        return "ack"
+
+    def op_read(self, ctx: Context):
+        responses = yield from self._quorum(ctx, OpKind.READ_MAX, ())
+        best = max_tsval(responses)
+        if self.write_back:
+            yield from self._quorum(ctx, OpKind.WRITE_MAX, (best,))
+        return best.val
+
+    def on_response(self, ctx: Context, op: LowLevelOp) -> None:
+        self._results[op.op_id] = op.result
+
+
+class ABDEmulation:
+    """A deployed ABD instance: n servers, one max-register each.
+
+    ``write_back=True`` yields an atomic register; ``write_back=False``
+    yields a (WS-)regular one with read-only readers.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        initial_value: Any = None,
+        write_back: bool = True,
+        scheduler: "Optional[Scheduler]" = None,
+        environment: "Optional[Environment]" = None,
+    ):
+        if n < 2 * f + 1:
+            raise ValueError(f"ABD requires n >= 2f+1, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.initial_value = initial_value
+        self.write_back = write_back
+        placements = [
+            (i, "max-register", bottom_tsval(initial_value))
+            for i in range(n)
+        ]
+        self.system: SimSystem = build_system(
+            n, placements, scheduler=scheduler, environment=environment
+        )
+        self._next_client = 0
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def history(self) -> History:
+        return self.system.history
+
+    @property
+    def object_map(self):
+        return self.system.object_map
+
+    @property
+    def total_objects(self) -> int:
+        """Resource consumption: one max-register per server."""
+        return self.n
+
+    def add_client(self, client_id: "Optional[ClientId]" = None):
+        """Add a client (any client may both read and write)."""
+        if client_id is None:
+            client_id = ClientId(self._next_client)
+        self._next_client = max(self._next_client, client_id.index) + 1
+        protocol = ABDClient(
+            self.n,
+            self.f,
+            writer_id=client_id.index,
+            initial_value=self.initial_value,
+            write_back=self.write_back,
+        )
+        return self.kernel.add_client(client_id, protocol)
+
+    # ABD supports unboundedly many clients; the writer/reader split below
+    # only serves the uniform workload-runner interface.
+
+    def add_writer(self, writer_index: int):
+        return self.add_client(ClientId(writer_index))
+
+    def add_reader(self):
+        client_id = ClientId(1000 + self._next_client)
+        return self.add_client(client_id)

@@ -1,0 +1,283 @@
+"""Max-registers from plain read/write registers.
+
+Two constructions from the paper's narrative:
+
+* :class:`CollectMaxRegister` — a wait-free atomic **k-writer max-register
+  from exactly k registers** in the standard (failure-free) shared memory
+  model: writer ``w`` keeps the maximum of its own writes in register
+  ``w``; a reader collects all ``k`` registers and returns the largest
+  value.  Theorem 2 proves ``k`` registers are *necessary*, so this
+  construction is space-optimal.
+
+* :class:`ReplicatedMaxRegisterEmulation` — the matching upper bound for
+  ``n = 2f+1`` mentioned in Sections 1 and 3.2: each server implements a
+  k-writer max-register from ``k`` base registers, and an ABD-style quorum
+  protocol runs on top, for ``(2f+1)k`` registers total — tight against
+  Theorem 1's ``kf + k(f+1) = k(2f+1)`` at ``n = 2f+1``.  Structurally
+  this is Algorithm 2 with the *per-writer column* layout (writer ``w``
+  owns register ``w`` of every server), so we instantiate the
+  Algorithm 2 client over a :class:`PerWriterLayout`, inheriting the
+  covered-register avoidance that fault-prone registers force.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.client import ClientProtocol, Context
+from repro.sim.history import History
+from repro.sim.ids import ClientId, ObjectId, OpId, ServerId
+from repro.sim.kernel import Environment
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.scheduling import Scheduler
+from repro.sim.system import Placement, SimSystem, build_system
+from repro.sim.values import bottom_tsval
+
+
+class CollectMaxRegisterClient(ClientProtocol):
+    """Client of the k-register max-register (standard shared memory).
+
+    Writer ``w`` caches the largest value it has written; ``write_max(v)``
+    writes register ``w`` only when ``v`` exceeds the cache (a smaller
+    ``write_max`` is a no-op that linearizes immediately).  ``read_max()``
+    reads all ``k`` registers and returns the maximum.
+    """
+
+    def __init__(
+        self, k: int, writer_index: "Optional[int]", initial_value: Any
+    ):
+        self.k = k
+        self.writer_index = writer_index
+        self.initial_value = initial_value
+        self._local_max = initial_value
+        self._results: "Dict[OpId, Any]" = {}
+
+    def op_write_max(self, ctx: Context, value: Any):
+        if self.writer_index is None:
+            raise RuntimeError("read-only client invoked write_max")
+        if value <= self._local_max:
+            return "ok"
+        self._local_max = value
+        op = ctx.trigger(ObjectId(self.writer_index), OpKind.WRITE, value)
+        yield lambda: op in self._results
+        self._results.pop(op)
+        return "ok"
+
+    def op_read_max(self, ctx: Context):
+        ops = [
+            ctx.trigger(ObjectId(i), OpKind.READ) for i in range(self.k)
+        ]
+        yield lambda: all(op in self._results for op in ops)
+        values = [self._results.pop(op) for op in ops]
+        best = self.initial_value
+        for value in values:
+            if value > best:
+                best = value
+        return best
+
+    def on_response(self, ctx: Context, op: LowLevelOp) -> None:
+        self._results[op.op_id] = op.result
+
+
+class CollectMaxRegister:
+    """Deployment of the k-register max-register on one reliable server."""
+
+    def __init__(
+        self,
+        k: int,
+        initial_value: Any = 0,
+        scheduler: "Optional[Scheduler]" = None,
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.initial_value = initial_value
+        placements: "List[Placement]" = [
+            (0, "register", initial_value) for _ in range(k)
+        ]
+        self.system: SimSystem = build_system(
+            1, placements, scheduler=scheduler
+        )
+        self._next_reader = 0
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def history(self) -> History:
+        return self.system.history
+
+    @property
+    def total_registers(self) -> int:
+        """Exactly k — matching Theorem 2's lower bound."""
+        return self.k
+
+    def add_writer(self, writer_index: int):
+        if not 0 <= writer_index < self.k:
+            raise ValueError(f"writer index {writer_index} out of range")
+        protocol = CollectMaxRegisterClient(
+            self.k, writer_index, self.initial_value
+        )
+        return self.kernel.add_client(ClientId(writer_index), protocol)
+
+    def add_reader(self):
+        client_id = ClientId(self.k + 1000 + self._next_reader)
+        self._next_reader += 1
+        protocol = CollectMaxRegisterClient(self.k, None, self.initial_value)
+        return self.kernel.add_client(client_id, protocol)
+
+
+class PerWriterLayout:
+    """The per-writer column layout: writer ``w`` owns one register per
+    server (register ids ``w, k + w, 2k + w, ...``).
+
+    Provides the interface :class:`~repro.core.ws_register.WSRegisterClient`
+    expects (``f``, ``registers_for_writer``, ``read_quorum_servers``,
+    ``placements``), so the Algorithm 2 client runs unchanged over it.
+    Total registers: ``n * k`` (``(2f+1)k`` at the minimum server count).
+    """
+
+    def __init__(self, k: int, n: int, f: int, initial_value: Any = None):
+        if n < 2 * f + 1:
+            raise ValueError(f"need n >= 2f+1, got n={n}, f={f}")
+        if k <= 0 or f <= 0:
+            raise ValueError("k and f must be positive")
+        self.k = k
+        self.n = n
+        self.f = f
+        self.z = 1  # one writer per register set
+        self.initial_value = initial_value
+        # Register w + s*k is writer w's register on server s.
+        self.sets = [
+            [ObjectId(w + s * k) for s in range(n)] for w in range(k)
+        ]
+        self._delta = {
+            ObjectId(w + s * k): ServerId(s)
+            for s in range(n)
+            for w in range(k)
+        }
+
+    @property
+    def total_registers(self) -> int:
+        return self.n * self.k
+
+    def server_of(self, object_id: ObjectId) -> ServerId:
+        return self._delta[object_id]
+
+    def set_index_for_writer(self, writer_index: int) -> int:
+        if not 0 <= writer_index < self.k:
+            raise ValueError(f"writer index {writer_index} out of range")
+        return writer_index
+
+    def registers_for_writer(self, writer_index: int) -> "List[ObjectId]":
+        return list(self.sets[self.set_index_for_writer(writer_index)])
+
+    def read_quorum_servers(self) -> int:
+        return self.n - self.f
+
+    def registers_on_server(self, server_id: ServerId) -> "List[ObjectId]":
+        return [
+            oid for oid, sid in self._delta.items() if sid == server_id
+        ]
+
+    def storage_profile(self) -> "Dict[ServerId, int]":
+        profile: "Dict[ServerId, int]" = {
+            ServerId(i): 0 for i in range(self.n)
+        }
+        for server_id in self._delta.values():
+            profile[server_id] += 1
+        return profile
+
+    def placements(self) -> "List[Placement]":
+        initial = bottom_tsval(self.initial_value)
+        total = self.n * self.k
+        return [
+            (self._delta[ObjectId(i)].index, "register", initial)
+            for i in range(total)
+        ]
+
+    def validate(self) -> None:
+        for register_set in self.sets:
+            servers = {self._delta[oid] for oid in register_set}
+            assert len(servers) == len(register_set)
+        assert self.total_registers == self.n * self.k
+
+
+class ReplicatedMaxRegisterEmulation:
+    """The ``(2f+1)k``-register emulation for ``n = 2f+1`` (Section 3.2).
+
+    Algorithm 2's client over the per-writer column layout: each server
+    effectively implements a k-writer max-register from k registers, and
+    quorum accesses provide f-tolerance.  WS-Regular and wait-free.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        f: int,
+        initial_value: Any = None,
+        scheduler: "Optional[Scheduler]" = None,
+        environment: "Optional[Environment]" = None,
+    ):
+        # Imported here to avoid a module cycle (ws_register imports layout).
+        from repro.core.ws_register import WSRegisterClient
+
+        self._client_cls = WSRegisterClient
+        self.layout = PerWriterLayout(k, n, f, initial_value)
+        self.layout.validate()
+        self.initial_value = initial_value
+        self.system: SimSystem = build_system(
+            n,
+            self.layout.placements(),
+            scheduler=scheduler,
+            environment=environment,
+        )
+        self._writers: "Dict[int, ClientId]" = {}
+        self._next_reader = 0
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def history(self) -> History:
+        return self.system.history
+
+    @property
+    def object_map(self):
+        return self.system.object_map
+
+    @property
+    def total_registers(self) -> int:
+        return self.layout.total_registers
+
+    def add_writer(self, writer_index: int, client_id: "Optional[ClientId]" = None):
+        if writer_index in self._writers:
+            raise ValueError(f"writer {writer_index} already added")
+        cid = client_id or ClientId(writer_index)
+        protocol = self._client_cls(
+            self.layout,
+            self.object_map,
+            writer_index=writer_index,
+            initial_value=self.initial_value,
+        )
+        runtime = self.kernel.add_client(cid, protocol)
+        self._writers[writer_index] = cid
+        return runtime
+
+    def add_reader(self, client_id: "Optional[ClientId]" = None):
+        if client_id is None:
+            client_id = ClientId(self.layout.k + 1000 + self._next_reader)
+            self._next_reader += 1
+        protocol = self._client_cls(
+            self.layout,
+            self.object_map,
+            writer_index=None,
+            initial_value=self.initial_value,
+        )
+        return self.kernel.add_client(client_id, protocol)
+
+    def writer_client_id(self, writer_index: int) -> ClientId:
+        return self._writers[writer_index]

@@ -1,0 +1,119 @@
+"""An f-tolerant max-register from per-server max-registers.
+
+A companion to the ABD emulation: because max-register values are
+*monotone*, replicating one max-register per server and using n-f quorums
+yields a fault-tolerant max-register directly — no timestamps needed.
+This is the natural building block for the monotone coordination services
+(epochs, configuration versions, watermarks) that motivate max-registers
+in practice, and it inherits Table 1's space bound: 2f+1 base objects at
+the minimum server count, independent of the number of writers.
+
+* ``write_max(v)``: trigger ``write-max(v)`` on every server, await n-f.
+* ``read_max()``: trigger ``read-max`` on every server, await n-f, return
+  the maximum; with ``write_back=True`` the reader writes the maximum
+  back to a quorum first (atomicity needs readers to write — the paper's
+  Section 5 point), otherwise the emulation is regular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.client import ClientProtocol, Context
+from repro.sim.history import History
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.kernel import Environment
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.scheduling import Scheduler
+from repro.sim.system import SimSystem, build_system
+
+
+class FTMaxRegisterClient(ClientProtocol):
+    """Quorum-replicated max-register client."""
+
+    def __init__(
+        self, n: int, f: int, initial_value: Any, write_back: bool = True
+    ):
+        self.n = n
+        self.f = f
+        self.initial_value = initial_value
+        self.write_back = write_back
+        self._results: "Dict[OpId, Any]" = {}
+
+    def _quorum(self, ctx: Context, kind: OpKind, args: tuple):
+        ops = [ctx.trigger(ObjectId(i), kind, *args) for i in range(self.n)]
+        needed = self.n - self.f
+        yield lambda: sum(1 for op in ops if op in self._results) >= needed
+        return [self._results[op] for op in ops if op in self._results]
+
+    def op_write_max(self, ctx: Context, value: Any):
+        yield from self._quorum(ctx, OpKind.WRITE_MAX, (value,))
+        return "ok"
+
+    def op_read_max(self, ctx: Context):
+        responses = yield from self._quorum(ctx, OpKind.READ_MAX, ())
+        best = responses[0]
+        for candidate in responses[1:]:
+            if candidate > best:
+                best = candidate
+        if self.write_back:
+            yield from self._quorum(ctx, OpKind.WRITE_MAX, (best,))
+        return best
+
+    def on_response(self, ctx: Context, op: LowLevelOp) -> None:
+        self._results[op.op_id] = op.result
+
+
+class FTMaxRegister:
+    """A deployed f-tolerant max-register (n servers, one max-register
+    base object each; any number of clients)."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        initial_value: Any = 0,
+        write_back: bool = True,
+        scheduler: "Optional[Scheduler]" = None,
+        environment: "Optional[Environment]" = None,
+    ):
+        if n < 2 * f + 1:
+            raise ValueError(f"need n >= 2f+1, got n={n}, f={f}")
+        self.n = n
+        self.f = f
+        self.initial_value = initial_value
+        self.write_back = write_back
+        placements = [(i, "max-register", initial_value) for i in range(n)]
+        self.system: SimSystem = build_system(
+            n,
+            placements,
+            scheduler=scheduler,
+            environment=environment,
+            history=History(write_name="write_max", read_name="read_max"),
+        )
+        self._next_client = 0
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def history(self) -> History:
+        return self.system.history
+
+    @property
+    def object_map(self):
+        return self.system.object_map
+
+    @property
+    def total_objects(self) -> int:
+        return self.n
+
+    def add_client(self, client_id: "Optional[ClientId]" = None):
+        if client_id is None:
+            client_id = ClientId(self._next_client)
+        self._next_client = max(self._next_client, client_id.index) + 1
+        protocol = FTMaxRegisterClient(
+            self.n, self.f, self.initial_value, self.write_back
+        )
+        return self.kernel.add_client(client_id, protocol)

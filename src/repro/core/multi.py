@@ -1,0 +1,219 @@
+"""Several emulated registers sharing one server fleet.
+
+Production stores keep many objects on the same machines: crashes hit
+every object on the server at once, and per-server storage is the *sum*
+over objects — which is what makes Theorem 7's per-server capacity bound
+bite.  :class:`MultiRegisterDeployment` deploys ``m`` independent
+Algorithm 2 registers over a single :class:`~repro.sim.server.ObjectMap`
+and one kernel: one crash event, one schedule, ``m`` consistency-checked
+registers.
+
+Each register keeps its own layout (offset into the shared object-id
+space); its clients' collects scan only its own registers, so the
+emulations compose without interference — asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.layout import RegisterLayout
+from repro.sim.client import ClientProtocol
+from repro.sim.history import History
+from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.kernel import Environment
+from repro.sim.scheduling import Scheduler
+from repro.sim.system import Placement, SimSystem, build_system
+
+
+class OffsetLayout:
+    """A view of a :class:`RegisterLayout` shifted into shared id space."""
+
+    def __init__(self, base: RegisterLayout, offset: int):
+        self.base = base
+        self.offset = offset
+
+    @property
+    def k(self) -> int:
+        return self.base.k
+
+    @property
+    def n(self) -> int:
+        return self.base.n
+
+    @property
+    def f(self) -> int:
+        return self.base.f
+
+    @property
+    def total_registers(self) -> int:
+        return self.base.total_registers
+
+    def _shift(self, object_id: ObjectId) -> ObjectId:
+        return ObjectId(object_id.index + self.offset)
+
+    def registers_for_writer(self, writer_index: int) -> "List[ObjectId]":
+        return [
+            self._shift(oid)
+            for oid in self.base.registers_for_writer(writer_index)
+        ]
+
+    def registers_on_server(self, server_id: ServerId) -> "List[ObjectId]":
+        return [
+            self._shift(oid)
+            for oid in self.base.registers_on_server(server_id)
+        ]
+
+    def server_of(self, object_id: ObjectId) -> ServerId:
+        return self.base.server_of(ObjectId(object_id.index - self.offset))
+
+    def read_quorum_servers(self) -> int:
+        return self.base.read_quorum_servers()
+
+    def storage_profile(self):
+        return self.base.storage_profile()
+
+
+class _FilteredHistory(History):
+    """A History that records only operations of selected clients."""
+
+    def __init__(self, client_ids):
+        super().__init__()
+        self.client_ids = set(client_ids)
+
+    def admit(self, client_id: ClientId) -> None:
+        self.client_ids.add(client_id)
+
+    def on_invoke(self, event) -> None:
+        if event.client_id in self.client_ids:
+            super().on_invoke(event)
+
+    def on_return(self, event) -> None:
+        if event.seq in self.ops:
+            super().on_return(event)
+
+
+class _RegisterView:
+    """One register of the deployment, with the emulation interface the
+    workload runner and checkers expect (kernel / object_map / history /
+    add_writer / add_reader)."""
+
+    def __init__(self, deployment, index: int, layout: OffsetLayout):
+        self.deployment = deployment
+        self.index = index
+        self.layout = layout
+        self.history = _FilteredHistory(set())
+        self._writers: "Dict[int, ClientId]" = {}
+        self._next_reader = 0
+
+    @property
+    def kernel(self):
+        return self.deployment.kernel
+
+    @property
+    def object_map(self):
+        return self.deployment.object_map
+
+    @property
+    def system(self):
+        return self.deployment.system
+
+    def _client_id(self, slot: int) -> ClientId:
+        # Partition the client-id space: register i gets ids i*100000+slot.
+        return ClientId(self.index * 100_000 + slot)
+
+    def add_writer(self, writer_index: int):
+        from repro.core.ws_register import WSRegisterClient
+
+        if writer_index in self._writers:
+            raise ValueError(
+                f"writer {writer_index} already added to register"
+                f" {self.index}"
+            )
+        client_id = self._client_id(writer_index)
+        protocol = WSRegisterClient(
+            self.layout,
+            self.object_map,
+            writer_index=writer_index,
+            initial_value=self.deployment.initial_value,
+        )
+        runtime = self.kernel.add_client(client_id, protocol)
+        self.history.admit(client_id)
+        self._writers[writer_index] = client_id
+        return runtime
+
+    def add_reader(self):
+        from repro.core.ws_register import WSRegisterClient
+
+        client_id = self._client_id(50_000 + self._next_reader)
+        self._next_reader += 1
+        protocol = WSRegisterClient(
+            self.layout,
+            self.object_map,
+            writer_index=None,
+            initial_value=self.deployment.initial_value,
+        )
+        runtime = self.kernel.add_client(client_id, protocol)
+        self.history.admit(client_id)
+        return runtime
+
+
+class MultiRegisterDeployment:
+    """``m`` Algorithm 2 registers on one shared fleet of ``n`` servers."""
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        f: int,
+        initial_value: Any = None,
+        scheduler: "Optional[Scheduler]" = None,
+        environment: "Optional[Environment]" = None,
+    ):
+        if m <= 0:
+            raise ValueError("need at least one register")
+        self.m = m
+        self.initial_value = initial_value
+        base_layouts = [RegisterLayout(k, n, f, initial_value) for _ in range(m)]
+        for layout in base_layouts:
+            layout.validate()
+        placements: "List[Placement]" = []
+        self.layouts: "List[OffsetLayout]" = []
+        offset = 0
+        for layout in base_layouts:
+            self.layouts.append(OffsetLayout(layout, offset))
+            placements.extend(layout.placements())
+            offset += layout.total_registers
+        self.system: SimSystem = build_system(
+            n, placements, scheduler=scheduler, environment=environment
+        )
+        self.registers = [
+            _RegisterView(self, index, self.layouts[index])
+            for index in range(m)
+        ]
+        for view in self.registers:
+            self.kernel.add_listener(view.history)
+
+    @property
+    def kernel(self):
+        return self.system.kernel
+
+    @property
+    def object_map(self):
+        return self.system.object_map
+
+    def register(self, index: int) -> _RegisterView:
+        return self.registers[index]
+
+    def crash_server(self, server_index: int) -> None:
+        """One crash event: every register loses that server at once."""
+        self.kernel.crash_server(ServerId(server_index))
+
+    @property
+    def total_registers(self) -> int:
+        return self.object_map.n_objects
+
+    def storage_profile(self):
+        """Per-server storage summed over all m registers."""
+        return self.object_map.storage_profile()

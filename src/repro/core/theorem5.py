@@ -1,0 +1,173 @@
+"""Theorem 5, executed: 2f servers are not enough.
+
+Theorem 5 says every f-tolerant WS-Safe obstruction-free k-register
+emulation needs at least 2f+1 servers.  The classic partitioning argument
+behind it: with n = 2f servers, any operation that tolerates f crashes
+can wait for at most n - f = f servers, and two f-server quorums need not
+intersect — so a write can land entirely on one half while a reader,
+seeing only the other half (its half *looks* crashed, the write's half is
+merely slow), finds nothing.
+
+We cannot quantify over all algorithms, but we can execute the argument
+against the natural candidate: :class:`TwoFQuorumEmulation`, an ABD-style
+emulation on n = 2f servers whose quorums are any f servers (the largest
+quorum an f-tolerant algorithm may await).  :func:`partition_violation`
+scripts the split-brain run and returns the WS-Safety violation the
+checker finds; all correct emulations in this library refuse such
+deployments up front (they validate n >= 2f+1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.consistency.ws import WSViolation, check_ws_safe
+from repro.sim.client import ClientProtocol, Context
+from repro.sim.history import History
+from repro.sim.ids import ClientId, ObjectId, OpId, ServerId
+from repro.sim.kernel import Action, ActionKind, Environment, Kernel
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.scheduling import RoundRobinScheduler
+from repro.sim.system import SimSystem, build_system
+from repro.sim.values import TSVal, bottom_tsval, max_tsval
+
+
+class TwoFQuorumClient(ClientProtocol):
+    """ABD with f-server quorums on n = 2f servers (deliberately unsound).
+
+    This is the *best* an f-tolerant algorithm could do on 2f servers: it
+    may never wait for more than n - f = f responses, else a legal crash
+    pattern blocks it forever.
+    """
+
+    def __init__(self, n: int, f: int, writer_id: int, initial_value: Any):
+        self.n = n
+        self.f = f
+        self.writer_id = writer_id
+        self.initial_value = initial_value
+        self._results: "Dict[OpId, Any]" = {}
+
+    def _quorum(self, ctx: Context, kind: OpKind, args: tuple):
+        ops = [ctx.trigger(ObjectId(i), kind, *args) for i in range(self.n)]
+        needed = self.n - self.f  # = f: non-intersecting quorums
+        yield lambda: sum(1 for op in ops if op in self._results) >= needed
+        return [self._results[op] for op in ops if op in self._results]
+
+    def op_write(self, ctx: Context, value: Any):
+        responses = yield from self._quorum(ctx, OpKind.READ_MAX, ())
+        ts = max_tsval(responses).ts + 1
+        yield from self._quorum(
+            ctx, OpKind.WRITE_MAX, (TSVal(ts, self.writer_id, value),)
+        )
+        return "ack"
+
+    def op_read(self, ctx: Context):
+        responses = yield from self._quorum(ctx, OpKind.READ_MAX, ())
+        return max_tsval(responses).val
+
+    def on_response(self, ctx: Context, op: LowLevelOp) -> None:
+        self._results[op.op_id] = op.result
+
+
+class TwoFQuorumEmulation:
+    """Deployment of the unsound 2f-server emulation (negative control)."""
+
+    def __init__(self, f: int, initial_value: Any = None, environment=None):
+        self.n = 2 * f
+        self.f = f
+        self.initial_value = initial_value
+        placements = [
+            (i, "max-register", bottom_tsval(initial_value))
+            for i in range(self.n)
+        ]
+        self.system: SimSystem = build_system(
+            self.n,
+            placements,
+            scheduler=RoundRobinScheduler(),
+            environment=environment,
+        )
+        self._next = 0
+
+    @property
+    def kernel(self) -> Kernel:
+        return self.system.kernel
+
+    @property
+    def history(self) -> History:
+        return self.system.history
+
+    def add_client(self):
+        client_id = ClientId(self._next)
+        self._next += 1
+        protocol = TwoFQuorumClient(
+            self.n, self.f, client_id.index, self.initial_value
+        )
+        return self.kernel.add_client(client_id, protocol)
+
+
+class _HalfBlocker(Environment):
+    """Delays responds on one half of the servers, plus stale mutators.
+
+    The blocked half is indistinguishable (to clients) from f crashed
+    servers, so an f-tolerant algorithm must make progress without it.
+    When the roles swap, mutators triggered before the swap stay delayed
+    (``stale_mutators_before``): asynchrony lets the old write's updates
+    hang in flight while the reader races ahead — the same covering power
+    the lower bound uses.
+    """
+
+    def __init__(self, blocked_servers):
+        self.blocked = set(blocked_servers)
+        self.stale_mutators_before: "Optional[int]" = None
+
+    def swap(self, new_blocked, now: int) -> None:
+        self.blocked = set(new_blocked)
+        self.stale_mutators_before = now
+
+    def allows(self, action: Action, kernel: Kernel) -> bool:
+        if action.kind is not ActionKind.RESPOND:
+            return True
+        op = kernel.pending.get(action.op_id)
+        if op is None:
+            return True
+        if (
+            self.stale_mutators_before is not None
+            and op.is_mutator
+            and op.trigger_time < self.stale_mutators_before
+        ):
+            return False
+        server = kernel.object_map.server_of(op.object_id)
+        return server not in self.blocked
+
+
+def partition_violation(f: int = 1) -> "List[WSViolation]":
+    """Script the split-brain run on n = 2f servers.
+
+    Phase 1: servers {f..2f-1} are slow; the writer completes W(v1) using
+    only the first half.  Phase 2: the halves swap roles; an isolated
+    reader completes using only the second half — which never saw v1 —
+    and returns the initial value.  WS-Safety is violated.
+    """
+    first_half = {ServerId(i) for i in range(f)}
+    second_half = {ServerId(i) for i in range(f, 2 * f)}
+
+    blocker = _HalfBlocker(second_half)
+    emu = TwoFQuorumEmulation(f=f, initial_value="v0", environment=blocker)
+    writer = emu.add_client()
+    reader = emu.add_client()
+
+    writer.enqueue("write", "v1")
+    result = emu.kernel.run(
+        max_steps=100_000, until=lambda k: writer.idle and not writer.program
+    )
+    assert result.satisfied, "write should finish on its half"
+
+    # Swap the slow half; the write's updates remain in flight (delayed).
+    blocker.swap(first_half, emu.kernel.time)
+    reader.enqueue("read")
+    result = emu.kernel.run(
+        max_steps=100_000, until=lambda k: reader.idle and not reader.program
+    )
+    assert result.satisfied, "read should finish on the other half"
+
+    return check_ws_safe(emu.history, initial_value="v0")

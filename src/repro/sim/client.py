@@ -1,0 +1,270 @@
+"""Client runtime: deterministic state machines as generator coroutines.
+
+The paper models clients as deterministic state machines whose transitions
+are actions (triggering low-level operations, executing return steps).  We
+express client algorithms as Python generators:
+
+* The algorithm's high-level operation (e.g. Algorithm 2's ``write``) is a
+  generator function receiving a :class:`Context`.
+* ``ctx.trigger(...)`` triggers a low-level operation and returns
+  immediately — clients never block on base objects (base objects are
+  crash-prone, so waiting on one would forfeit fault tolerance).
+* ``yield predicate`` suspends the coroutine until ``predicate()`` holds
+  (the paper's ``wait until ...``); ``yield None`` yields one step.
+* ``upon receiving ... respond`` handlers are expressed by overriding
+  :meth:`ClientProtocol.on_response`; they run atomically with the respond
+  step (see DESIGN.md, "Modeling choices").
+* ``ctx.spawn(gen)`` runs a sub-coroutine concurrently within the client
+  (used by composed emulations such as ABD over CAS-based max-registers,
+  where each per-server max-register operation is itself a loop of CAS
+  invocations).
+
+One kernel client-step advances exactly one runnable coroutine by one
+yield, so client progress interleaves at the granularity the model
+requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.objects import LowLevelOp, OpKind
+
+#: A client coroutine yields either ``None`` (take a step) or a zero-argument
+#: predicate (resume when it returns True).
+ClientCoroutine = Generator[Optional[Callable[[], bool]], None, Any]
+
+
+@dataclass
+class TaskHandle:
+    """Handle on a spawned sub-coroutine."""
+
+    name: str
+    done: bool = False
+    result: Any = None
+
+    def wait(self) -> Callable[[], bool]:
+        """Predicate usable as ``yield handle.wait()``."""
+        return lambda: self.done
+
+
+class _Task:
+    """Internal bookkeeping for one coroutine (main or spawned)."""
+
+    def __init__(self, coroutine: ClientCoroutine, handle: TaskHandle):
+        self.coroutine = coroutine
+        self.handle = handle
+        self.waiting: Optional[Callable[[], bool]] = None
+
+    @property
+    def runnable(self) -> bool:
+        if self.handle.done:
+            return False
+        if self.waiting is None:
+            return True
+        return bool(self.waiting())
+
+
+class ClientProtocol:
+    """Base class for the client side of an emulation algorithm.
+
+    Subclasses implement one generator method per high-level operation,
+    named ``op_<name>`` (e.g. ``op_write``, ``op_read``), and may override
+    :meth:`on_response` to handle low-level responds (Algorithm 2's
+    ``upon receiving b.write(*) respond do`` blocks).
+    """
+
+    def make_operation(
+        self, ctx: "Context", name: str, args: tuple
+    ) -> ClientCoroutine:
+        method = getattr(self, f"op_{name}", None)
+        if method is None:
+            raise ValueError(
+                f"{type(self).__name__} has no high-level operation {name!r}"
+            )
+        return method(ctx, *args)
+
+    def on_response(self, ctx: "Context", op: LowLevelOp) -> None:
+        """Handle a respond of a low-level op triggered by this client."""
+
+
+class Context:
+    """The API surface a client algorithm sees.
+
+    Wraps the kernel-facing runtime so algorithm code cannot reach into
+    scheduler or adversary state.
+    """
+
+    def __init__(self, runtime: "ClientRuntime"):
+        self._runtime = runtime
+
+    @property
+    def client_id(self) -> ClientId:
+        return self._runtime.client_id
+
+    @property
+    def time(self) -> int:
+        return self._runtime.kernel_time()
+
+    def trigger(self, object_id: ObjectId, kind: OpKind, *args: Any) -> OpId:
+        """Trigger a low-level operation; returns immediately."""
+        return self._runtime.trigger(object_id, kind, args)
+
+    def spawn(self, coroutine: ClientCoroutine, name: str = "task") -> TaskHandle:
+        """Run a sub-coroutine concurrently within this client."""
+        return self._runtime.spawn(coroutine, name)
+
+    @staticmethod
+    def all_done(handles: "List[TaskHandle]") -> Callable[[], bool]:
+        return lambda: all(h.done for h in handles)
+
+    @staticmethod
+    def count_done(handles: "List[TaskHandle]", count: int) -> Callable[[], bool]:
+        return lambda: sum(1 for h in handles if h.done) >= count
+
+
+class ClientRuntime:
+    """Kernel-side state of one client.
+
+    Holds the protocol instance, the queue of not-yet-invoked high-level
+    operations, and the active coroutines.  The kernel drives it through
+    :meth:`enabled`, :meth:`step` and :meth:`deliver_response`.
+    """
+
+    def __init__(self, client_id: ClientId, protocol: ClientProtocol):
+        self.client_id = client_id
+        self.protocol = protocol
+        self.context = Context(self)
+        self.crashed = False
+        #: queue of (name, args) high-level invocations not yet started
+        self.program: "Deque[Tuple[str, tuple]]" = deque()
+        #: active coroutines; index 0 is the main (high-level op) task
+        self.tasks: "List[_Task]" = []
+        #: sequence number of the in-flight high-level op, if any
+        self.active_seq: Optional[int] = None
+        self.active_name: Optional[str] = None
+        #: ids of this client's pending low-level ops
+        self.pending_ops: "set[OpId]" = set()
+        # wired by the kernel at registration:
+        self._kernel = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, kernel) -> None:
+        self._kernel = kernel
+
+    def kernel_time(self) -> int:
+        return self._kernel.time
+
+    # -- program -----------------------------------------------------------
+
+    def enqueue(self, name: str, *args: Any) -> None:
+        """Schedule a high-level operation invocation."""
+        self.program.append((name, tuple(args)))
+
+    @property
+    def idle(self) -> bool:
+        """True if no high-level operation is in flight."""
+        return self.active_seq is None
+
+    # -- actions visible to the kernel --------------------------------------
+
+    def enabled(self) -> bool:
+        """Can this client take a step right now?"""
+        if self.crashed:
+            return False
+        if self.idle:
+            return bool(self.program)
+        return any(task.runnable for task in self.tasks)
+
+    def step(self) -> None:
+        """Execute one client step: start the next op, or advance one task."""
+        if self.crashed:
+            raise RuntimeError(f"step on crashed client {self.client_id}")
+        if self.idle:
+            self._start_next_operation()
+            return
+        task = self._next_runnable()
+        if task is None:
+            raise RuntimeError(f"no runnable task on {self.client_id}")
+        self._advance(task)
+
+    def _start_next_operation(self) -> None:
+        name, args = self.program.popleft()
+        seq = self._kernel.record_invoke(self.client_id, name, args)
+        self.active_seq = seq
+        self.active_name = name
+        coroutine = self.protocol.make_operation(self.context, name, args)
+        handle = TaskHandle(name=f"{name}#{seq}")
+        task = _Task(coroutine, handle)
+        self.tasks = [task]
+        # The invocation action also runs the operation's first segment
+        # (up to its first wait), so triggers issued unconditionally at the
+        # start of an operation happen atomically with the invocation.
+        self._advance(task)
+
+    def _next_runnable(self) -> Optional[_Task]:
+        for task in self.tasks:
+            if task.runnable:
+                return task
+        return None
+
+    def _advance(self, task: _Task) -> None:
+        task.waiting = None
+        try:
+            yielded = next(task.coroutine)
+        except StopIteration as stop:
+            self._finish_task(task, stop.value)
+            return
+        if yielded is not None and not callable(yielded):
+            raise TypeError(
+                f"client coroutine yielded {yielded!r}; expected a predicate"
+                " or None"
+            )
+        task.waiting = yielded
+
+    def _finish_task(self, task: _Task, result: Any) -> None:
+        task.handle.done = True
+        task.handle.result = result
+        if self.tasks and task is self.tasks[0]:
+            # Main task: the high-level operation returns.
+            seq, name = self.active_seq, self.active_name
+            self.active_seq = None
+            self.active_name = None
+            self.tasks = []
+            self._kernel.record_return(self.client_id, seq, name, result)
+        else:
+            self.tasks = [t for t in self.tasks if t is not task]
+
+    # -- low-level operations ------------------------------------------------
+
+    def trigger(self, object_id: ObjectId, kind: OpKind, args: tuple) -> OpId:
+        op = self._kernel.trigger(
+            self.client_id, object_id, kind, args, self.active_seq
+        )
+        self.pending_ops.add(op.op_id)
+        return op.op_id
+
+    def spawn(self, coroutine: ClientCoroutine, name: str) -> TaskHandle:
+        if self.idle:
+            raise RuntimeError("spawn outside a high-level operation")
+        handle = TaskHandle(name=name)
+        self.tasks.append(_Task(coroutine, handle))
+        return handle
+
+    def deliver_response(self, op: LowLevelOp) -> None:
+        """Called by the kernel when one of our low-level ops responds."""
+        self.pending_ops.discard(op.op_id)
+        if self.crashed:
+            return
+        self.protocol.on_response(self.context, op)
+
+    # -- failures -------------------------------------------------------------
+
+    def crash(self) -> None:
+        self.crashed = True
+        self.tasks = []
+        self.program.clear()

@@ -1,0 +1,85 @@
+"""Event records and the listener protocol.
+
+The kernel publishes an event for every action it executes.  Listeners
+(history recorders, covering trackers, resource meters) subscribe via
+:class:`EventListener`; all hooks default to no-ops so listeners implement
+only what they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.ids import ClientId, ObjectId, OpId, ServerId
+from repro.sim.objects import LowLevelOp
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """A low-level operation was triggered on a base object."""
+
+    time: int
+    op: LowLevelOp
+
+
+@dataclass(frozen=True)
+class RespondEvent:
+    """A low-level operation responded (and took effect)."""
+
+    time: int
+    op: LowLevelOp
+
+
+@dataclass(frozen=True)
+class InvokeEvent:
+    """A high-level (emulated) operation was invoked by a client."""
+
+    time: int
+    client_id: ClientId
+    seq: int
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    """A high-level (emulated) operation returned to its client."""
+
+    time: int
+    client_id: ClientId
+    seq: int
+    name: str
+    result: Any
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A server or client crashed."""
+
+    time: int
+    server_id: Optional[ServerId] = None
+    client_id: Optional[ClientId] = None
+
+
+class EventListener:
+    """Subscribe to kernel events by overriding any subset of hooks."""
+
+    def on_trigger(self, event: TriggerEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_respond(self, event: RespondEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_invoke(self, event: InvokeEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_return(self, event: ReturnEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_crash(self, event: CrashEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_step(self, time: int) -> None:  # pragma: no cover
+        """Called after every kernel step, once all other hooks ran."""
+        pass

@@ -1,0 +1,82 @@
+"""Typed identifiers for the simulated system.
+
+Identifiers are small frozen dataclasses rather than bare integers so that
+a client id can never be accidentally used where a server id is expected.
+They are hashable, ordered, and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class ClientId:
+    """Identity of a client process ``c_i`` in the set ``C``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"c{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class ServerId:
+    """Identity of a server ``s_j`` in the set ``S``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """Identity of a base object ``b`` in the set ``B``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"b{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class OpId:
+    """Identity of a single low-level operation instance.
+
+    Every trigger produces a fresh :class:`OpId`; the matching respond (if
+    any) carries the same id.
+    """
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"op{self.value}"
+
+
+def as_client_id(value: Any) -> ClientId:
+    """Coerce an ``int`` or :class:`ClientId` to a :class:`ClientId`."""
+    if isinstance(value, ClientId):
+        return value
+    if isinstance(value, int):
+        return ClientId(value)
+    raise TypeError(f"cannot interpret {value!r} as a ClientId")
+
+
+def as_server_id(value: Any) -> ServerId:
+    """Coerce an ``int`` or :class:`ServerId` to a :class:`ServerId`."""
+    if isinstance(value, ServerId):
+        return value
+    if isinstance(value, int):
+        return ServerId(value)
+    raise TypeError(f"cannot interpret {value!r} as a ServerId")
+
+
+def as_object_id(value: Any) -> ObjectId:
+    """Coerce an ``int`` or :class:`ObjectId` to an :class:`ObjectId`."""
+    if isinstance(value, ObjectId):
+        return value
+    if isinstance(value, int):
+        return ObjectId(value)
+    raise TypeError(f"cannot interpret {value!r} as an ObjectId")

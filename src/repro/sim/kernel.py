@@ -1,0 +1,334 @@
+"""The simulation kernel: configurations, actions, steps.
+
+A run of an emulation algorithm is an alternating sequence of
+configurations and actions (Appendix A.4).  The kernel executes one action
+per step; the step counter is the paper's notion of time ``t``.  Two action
+kinds exist:
+
+* ``CLIENT`` — a client takes a step: it invokes its next high-level
+  operation, or advances one of its runnable coroutines (triggering
+  low-level operations and/or executing a return action).
+* ``RESPOND`` — a pending low-level operation on a correct base object
+  responds, *taking effect at that instant* (Assumption 1).
+
+An :class:`Environment` may veto ``RESPOND`` actions — this is exactly the
+adversary's power in the lower-bound proof (Definition 3: a blocked write
+"does not respond at t").  Fairness (Definition of fair runs) is then a
+property of the scheduler plus environment: every non-vetoed enabled action
+is eventually executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.client import ClientProtocol, ClientRuntime
+from repro.sim.events import (
+    CrashEvent,
+    EventListener,
+    InvokeEvent,
+    RespondEvent,
+    ReturnEvent,
+    TriggerEvent,
+)
+from repro.sim.ids import ClientId, ObjectId, OpId, ServerId
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.server import ObjectMap
+
+
+class ActionKind(Enum):
+    CLIENT = "client"
+    RESPOND = "respond"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One executable action: a client step or a low-level respond."""
+
+    kind: ActionKind
+    client_id: Optional[ClientId] = None
+    op_id: Optional[OpId] = None
+
+    def __str__(self) -> str:
+        if self.kind is ActionKind.CLIENT:
+            return f"step({self.client_id})"
+        return f"respond({self.op_id})"
+
+    def __lt__(self, other: "Action") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self) -> tuple:
+        if self.kind is ActionKind.CLIENT:
+            return (0, self.client_id.index, 0)
+        return (1, 0, self.op_id.value)
+
+
+class Environment:
+    """Hook allowing an adversary to constrain the run.
+
+    The default environment allows everything (failure-free, fully
+    asynchronous).  Subclasses override :meth:`allows` to veto respond
+    actions — vetoing client steps is not permitted by the model (clients
+    always get opportunities to take steps in fair runs), so the kernel
+    only consults the environment for ``RESPOND`` actions.
+    """
+
+    def allows(self, action: Action, kernel: "Kernel") -> bool:
+        return True
+
+    def on_stall(self, kernel: "Kernel") -> bool:
+        """Called when every enabled action is vetoed.
+
+        Return True to have the kernel re-evaluate (the environment should
+        have relaxed something); False means the block is intentional and
+        the run ends with reason ``"blocked"``.  The lower-bound adversary
+        keeps the default (blocking is its purpose); chaotic/latency
+        environments override this to preserve liveness.
+        """
+        return False
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Kernel.run`."""
+
+    steps: int
+    reason: str  # "until" | "quiescent" | "blocked" | "max_steps"
+
+    @property
+    def satisfied(self) -> bool:
+        return self.reason == "until"
+
+
+class Kernel:
+    """Executes runs over an :class:`~repro.sim.server.ObjectMap`.
+
+    Responsibilities: track pending low-level operations, compute the set
+    of enabled actions, apply the scheduler/environment, execute actions,
+    publish events, and provide imperative controls (crashes, forced
+    actions) used by the lower-bound run constructions.
+    """
+
+    def __init__(self, object_map: ObjectMap, scheduler, environment=None):
+        self.object_map = object_map
+        self.scheduler = scheduler
+        self.environment = environment or Environment()
+        self.time = 0
+        self.clients: "Dict[ClientId, ClientRuntime]" = {}
+        self.ops: "Dict[OpId, LowLevelOp]" = {}
+        self.pending: "Dict[OpId, LowLevelOp]" = {}
+        self.listeners: "List[EventListener]" = []
+        self._next_op = 0
+        self._next_seq = 0
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_client(
+        self, client_id: ClientId, protocol: ClientProtocol
+    ) -> ClientRuntime:
+        if client_id in self.clients:
+            raise ValueError(f"duplicate client {client_id}")
+        runtime = ClientRuntime(client_id, protocol)
+        runtime.attach(self)
+        self.clients[client_id] = runtime
+        return runtime
+
+    def add_listener(self, listener: EventListener) -> None:
+        self.listeners.append(listener)
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _emit(self, hook: str, event: Any) -> None:
+        for listener in self.listeners:
+            getattr(listener, hook)(event)
+
+    def _emit_step(self) -> None:
+        for listener in self.listeners:
+            listener.on_step(self.time)
+
+    # -- low-level operation lifecycle ------------------------------------------
+
+    def trigger(
+        self,
+        client_id: ClientId,
+        object_id: ObjectId,
+        kind: OpKind,
+        args: tuple,
+        highlevel_seq: Optional[int],
+    ) -> LowLevelOp:
+        """Trigger a low-level operation (called from client runtimes)."""
+        obj = self.object_map.object(object_id)
+        obj.check_supported(kind)
+        op = LowLevelOp(
+            op_id=OpId(self._next_op),
+            client_id=client_id,
+            object_id=object_id,
+            kind=kind,
+            args=args,
+            trigger_time=self.time,
+            highlevel_seq=highlevel_seq,
+        )
+        self._next_op += 1
+        self.ops[op.op_id] = op
+        self.pending[op.op_id] = op
+        self._emit("on_trigger", TriggerEvent(self.time, op))
+        return op
+
+    def _respond(self, op: LowLevelOp) -> None:
+        obj = self.object_map.object(op.object_id)
+        op.result = obj.apply(op)
+        op.respond_time = self.time
+        del self.pending[op.op_id]
+        self._emit("on_respond", RespondEvent(self.time, op))
+        client = self.clients.get(op.client_id)
+        if client is not None:
+            client.deliver_response(op)
+
+    # -- high-level operation recording ------------------------------------------
+
+    def record_invoke(self, client_id: ClientId, name: str, args: tuple) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._emit("on_invoke", InvokeEvent(self.time, client_id, seq, name, args))
+        return seq
+
+    def record_return(
+        self, client_id: ClientId, seq: int, name: str, result: Any
+    ) -> None:
+        self._emit("on_return", ReturnEvent(self.time, client_id, seq, name, result))
+
+    # -- failures -------------------------------------------------------------------
+
+    def crash_server(self, server_id: ServerId) -> None:
+        """Crash a server and all base objects mapped to it."""
+        self.object_map.crash_server(server_id)
+        self._emit("on_crash", CrashEvent(self.time, server_id=server_id))
+
+    def crash_client(self, client_id: ClientId) -> None:
+        """Crash a client; its pending low-level ops remain pending."""
+        self.clients[client_id].crash()
+        self._emit("on_crash", CrashEvent(self.time, client_id=client_id))
+
+    # -- enabled actions ---------------------------------------------------------------
+
+    def enabled_actions(self) -> "List[Action]":
+        """All actions executable in the current configuration.
+
+        Deterministically ordered (clients by id, responds by op id) so a
+        seeded scheduler yields reproducible runs.
+        """
+        actions: "List[Action]" = []
+        for client_id in sorted(self.clients):
+            if self.clients[client_id].enabled():
+                actions.append(Action(ActionKind.CLIENT, client_id=client_id))
+        for op_id in sorted(self.pending):
+            op = self.pending[op_id]
+            if not self.object_map.object(op.object_id).crashed:
+                actions.append(Action(ActionKind.RESPOND, op_id=op_id))
+        return actions
+
+    def allowed_actions(self) -> "List[Action]":
+        """Enabled actions that the environment does not veto."""
+        allowed = []
+        for action in self.enabled_actions():
+            if action.kind is ActionKind.RESPOND:
+                if not self.environment.allows(action, self):
+                    continue
+            allowed.append(action)
+        return allowed
+
+    # -- execution ------------------------------------------------------------------------
+
+    def execute(self, action: Action) -> None:
+        """Execute one action and advance time by one step."""
+        self.time += 1
+        if action.kind is ActionKind.CLIENT:
+            self.clients[action.client_id].step()
+        else:
+            op = self.pending.get(action.op_id)
+            if op is None:
+                raise ValueError(f"{action.op_id} is not pending")
+            if self.object_map.object(op.object_id).crashed:
+                raise RuntimeError(f"respond on crashed object: {op}")
+            self._respond(op)
+        self._emit_step()
+
+    def force_respond(self, op_id: OpId) -> None:
+        """Imperatively execute a specific respond (run-construction tool)."""
+        self.execute(Action(ActionKind.RESPOND, op_id=op_id))
+
+    def force_client_step(self, client_id: ClientId) -> None:
+        """Imperatively execute a specific client step."""
+        self.execute(Action(ActionKind.CLIENT, client_id=client_id))
+
+    def run(
+        self,
+        max_steps: int = 100_000,
+        until: Optional[Callable[["Kernel"], bool]] = None,
+    ) -> RunResult:
+        """Run under the scheduler/environment.
+
+        Stops when ``until(kernel)`` holds, when no action is enabled
+        (``"quiescent"``), when every enabled action is vetoed
+        (``"blocked"``), or after ``max_steps`` steps.
+        """
+        steps = 0
+        while steps < max_steps:
+            if until is not None and until(self):
+                return RunResult(steps, "until")
+            enabled = self.enabled_actions()
+            if not enabled:
+                return RunResult(steps, "quiescent")
+            allowed = [
+                a
+                for a in enabled
+                if a.kind is ActionKind.CLIENT
+                or self.environment.allows(a, self)
+            ]
+            if not allowed:
+                if self.environment.on_stall(self):
+                    allowed = [
+                        a
+                        for a in enabled
+                        if a.kind is ActionKind.CLIENT
+                        or self.environment.allows(a, self)
+                    ]
+                if not allowed:
+                    return RunResult(steps, "blocked")
+            action = self.scheduler.choose(allowed, self)
+            self.execute(action)
+            steps += 1
+        if until is not None and until(self):
+            return RunResult(steps, "until")
+        return RunResult(steps, "max_steps")
+
+    # -- queries used by analysis/adversaries -----------------------------------------------
+
+    def pending_ops_on(self, object_id: ObjectId) -> "List[LowLevelOp]":
+        return [op for op in self.pending.values() if op.object_id == object_id]
+
+    def pending_mutators(self) -> "List[LowLevelOp]":
+        return [op for op in self.pending.values() if op.is_mutator]
+
+    def client(self, client_id: ClientId) -> ClientRuntime:
+        return self.clients[client_id]
+
+    def stats(self) -> "Dict[str, int]":
+        """A monitoring snapshot: time, op counts, pending, liveness."""
+        return {
+            "time": self.time,
+            "clients": len(self.clients),
+            "crashed_clients": sum(
+                1 for c in self.clients.values() if c.crashed
+            ),
+            "servers": self.object_map.n_servers,
+            "crashed_servers": len(self.object_map.crashed_servers),
+            "objects": self.object_map.n_objects,
+            "ops_triggered": len(self.ops),
+            "ops_pending": len(self.pending),
+            "covering_writes": sum(
+                1 for op in self.pending.values() if op.is_mutator
+            ),
+        }

@@ -1,0 +1,86 @@
+"""Scheduler policies.
+
+A scheduler picks the next action among the allowed ones.  The paper's
+liveness definitions are stated over *fair* runs; we provide:
+
+* :class:`RandomScheduler` — seeded uniform choice; probabilistically fair
+  and the workhorse for randomized testing.
+* :class:`RoundRobinScheduler` — strongly fair: always picks the enabled
+  action that has waited longest (never starves anything).
+* :class:`ClientPriorityScheduler` — prefers client steps over responds
+  (drives computation forward before delivering responses); fair within
+  each class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.kernel import Action, ActionKind
+
+
+class Scheduler:
+    """Interface: choose one action among the allowed ones."""
+
+    def choose(self, actions: "List[Action]", kernel) -> Action:
+        raise NotImplementedError
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform random choice among allowed actions."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, actions: "List[Action]", kernel) -> Action:
+        return actions[self._rng.randrange(len(actions))]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Strongly fair: pick the allowed action enabled-and-unserved longest.
+
+    Implemented as "least recently executed first": each action key carries
+    the step at which it was last chosen (or its first-seen order for fresh
+    actions); the minimum wins.  Under this policy every continuously
+    allowed action is eventually executed, which realizes the paper's fair
+    runs whenever the environment stops vetoing.
+    """
+
+    def __init__(self) -> None:
+        self._last_pick: "Dict[Action, int]" = {}
+        self._first_seen: "Dict[Action, int]" = {}
+        self._counter = 0
+
+    def choose(self, actions: "List[Action]", kernel) -> Action:
+        self._counter += 1
+        for action in actions:
+            if action not in self._first_seen:
+                self._first_seen[action] = self._counter
+        action = min(
+            actions,
+            key=lambda a: (
+                self._last_pick.get(a, -1),
+                self._first_seen[a],
+            ),
+        )
+        self._last_pick[action] = self._counter
+        return action
+
+
+class ClientPriorityScheduler(Scheduler):
+    """Prefer client steps; deliver responds only when no client can move.
+
+    Useful for driving emulations quickly to their wait points.  Fairness
+    within each class is inherited from the round-robin sub-policy.
+    """
+
+    def __init__(self) -> None:
+        self._inner = RoundRobinScheduler()
+
+    def choose(self, actions: "List[Action]", kernel) -> Action:
+        client_steps = [a for a in actions if a.kind is ActionKind.CLIENT]
+        if client_steps:
+            return self._inner.choose(client_steps, kernel)
+        return self._inner.choose(actions, kernel)

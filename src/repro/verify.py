@@ -1,0 +1,121 @@
+"""One-call verification of a finished run.
+
+``verify_run(emulation, condition=...)`` bundles every applicable check:
+
+1. **Well-formedness** — each client's high-level projection is
+   sequential (Appendix A.1).
+2. **The consistency condition** — one of ``"atomic"``, ``"ws-regular"``,
+   ``"ws-safe"``, ``"mw-weak"``, ``"mw-strong"``.
+3. **Substrate self-audit** — every base object's low-level projection is
+   linearizable (skippable; capped by projection size).
+
+Returns a :class:`VerificationReport`; ``report.ok`` is the single bit,
+``report.details()`` the human-readable summary.  The examples and the
+KV store's ``audit()`` are thin layers over the same checkers; this is
+the general entry point for user-written emulations on the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.baseobject_audit import audit_base_objects
+from repro.consistency.mw_regularity import (
+    check_mw_regular_strong,
+    check_mw_regular_weak,
+)
+from repro.consistency.register_atomicity import is_register_history_atomic
+from repro.consistency.schedule import is_well_formed
+from repro.consistency.ws import check_ws_regular, check_ws_safe
+
+CONDITIONS = (
+    "atomic",
+    "ws-regular",
+    "ws-safe",
+    "mw-weak",
+    "mw-strong",
+    "max-register-atomic",
+)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_run`."""
+
+    condition: str
+    checks: "Dict[str, bool]" = field(default_factory=dict)
+    violations: "List[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.checks.values())
+
+    def details(self) -> str:
+        lines = [f"verification against {self.condition!r}:"]
+        for name, passed in self.checks.items():
+            lines.append(f"  {'PASS' if passed else 'FAIL'}  {name}")
+        for violation in self.violations:
+            lines.append(f"    - {violation}")
+        return "\n".join(lines)
+
+
+def verify_run(
+    emulation,
+    condition: str = "ws-regular",
+    initial_value: Any = None,
+    audit_substrate: bool = True,
+    max_ops_per_object: "Optional[int]" = 30,
+) -> VerificationReport:
+    """Run all applicable checks over a finished emulation run."""
+    if condition not in CONDITIONS:
+        raise ValueError(
+            f"condition must be one of {CONDITIONS}, got {condition!r}"
+        )
+    history = emulation.history
+    report = VerificationReport(condition=condition)
+
+    report.checks["well-formed schedule"] = is_well_formed(history)
+
+    if condition == "atomic":
+        ok = is_register_history_atomic(history, initial_value=initial_value)
+        report.checks["atomicity (linearizability)"] = ok
+    elif condition == "ws-regular":
+        violations = check_ws_regular(history, initial_value=initial_value)
+        report.checks["WS-Regularity"] = not violations
+        report.violations.extend(str(v) for v in violations)
+    elif condition == "ws-safe":
+        violations = check_ws_safe(history, initial_value=initial_value)
+        report.checks["WS-Safety"] = not violations
+        report.violations.extend(str(v) for v in violations)
+    elif condition == "mw-weak":
+        violations = check_mw_regular_weak(
+            history, initial_value=initial_value
+        )
+        report.checks["MW-Weak regularity"] = not violations
+        report.violations.extend(str(v) for v in violations)
+    elif condition == "mw-strong":
+        violations = check_mw_regular_strong(
+            history, initial_value=initial_value
+        )
+        report.checks["MW-Strong regularity"] = not violations
+        report.violations.extend(str(v) for v in violations)
+    else:  # max-register-atomic
+        from repro.consistency.linearizability import is_linearizable
+        from repro.consistency.specs import MaxRegisterSpec
+
+        ok = is_linearizable(
+            list(history.all_ops()), MaxRegisterSpec(initial_value)
+        )
+        report.checks["max-register atomicity"] = ok
+
+    if audit_substrate:
+        verdicts = audit_base_objects(
+            emulation.kernel, max_ops_per_object=max_ops_per_object
+        )
+        bad = [str(oid) for oid, passed in verdicts.items() if not passed]
+        report.checks["base objects atomic"] = not bad
+        report.violations.extend(
+            f"non-linearizable base object {oid}" for oid in bad
+        )
+    return report

@@ -1,0 +1,26 @@
+"""Workload generation and execution.
+
+* :mod:`repro.workloads.generators` — deterministic workload specs
+  (write-sequential, concurrent mixes, seeded values).
+* :mod:`repro.workloads.runner` — execute a workload against an emulation
+  and return history plus metrics.
+"""
+
+from repro.workloads.generators import (
+    Invocation,
+    Workload,
+    concurrent_workload,
+    read_heavy_workload,
+    write_sequential_workload,
+)
+from repro.workloads.runner import RunReport, run_workload
+
+__all__ = [
+    "Invocation",
+    "RunReport",
+    "Workload",
+    "concurrent_workload",
+    "read_heavy_workload",
+    "run_workload",
+    "write_sequential_workload",
+]

@@ -1,0 +1,98 @@
+"""Execute a workload against an emulation and collect metrics.
+
+Works with any emulation exposing ``kernel``, ``object_map``, ``history``,
+``add_writer(index)`` and ``add_reader()`` (all the emulations in
+:mod:`repro.core` do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.resources import (
+    PointContentionMeter,
+    ResourceMeter,
+    StepMeter,
+)
+from repro.sim.history import History
+from repro.workloads.generators import Workload
+
+
+@dataclass
+class RunReport:
+    """Everything measured while running a workload."""
+
+    history: History
+    resource: ResourceMeter
+    contention: PointContentionMeter
+    steps: StepMeter
+    total_steps: int
+    completed_rounds: int
+
+    @property
+    def resource_consumption(self) -> int:
+        return self.resource.resource_consumption
+
+    @property
+    def max_covered(self) -> int:
+        return self.resource.max_covered
+
+
+def run_workload(
+    emulation,
+    workload: Workload,
+    max_steps_per_round: int = 200_000,
+    crash_plan=None,
+) -> RunReport:
+    """Run every round of ``workload`` to quiescence on ``emulation``.
+
+    ``crash_plan`` (a :class:`~repro.sim.failures.CrashPlan`) is installed
+    before the first round, so crashes fire at their scheduled steps while
+    the workload executes.
+    """
+    kernel = emulation.kernel
+    if crash_plan is not None:
+        crash_plan.install(kernel)
+    resource = ResourceMeter(emulation.object_map)
+    contention = PointContentionMeter()
+    steps = StepMeter()
+    for meter in (resource, contention, steps):
+        kernel.add_listener(meter)
+
+    writers = {
+        index: emulation.add_writer(index)
+        for index in workload.writer_indices
+    }
+    readers = {
+        index: emulation.add_reader() for index in workload.reader_indices
+    }
+
+    total_steps = 0
+    completed_rounds = 0
+    for round_ops in workload.rounds:
+        for invocation in round_ops:
+            kind, index = invocation.client
+            runtime = writers[index] if kind == "writer" else readers[index]
+            runtime.enqueue(invocation.name, *invocation.args)
+
+        def _round_done(k) -> bool:
+            live = list(writers.values()) + list(readers.values())
+            return all(
+                c.crashed or (c.idle and not c.program) for c in live
+            )
+
+        result = kernel.run(max_steps=max_steps_per_round, until=_round_done)
+        total_steps += result.steps
+        if not result.satisfied:
+            break
+        completed_rounds += 1
+
+    return RunReport(
+        history=emulation.history,
+        resource=resource,
+        contention=contention,
+        steps=steps,
+        total_steps=total_steps,
+        completed_rounds=completed_rounds,
+    )

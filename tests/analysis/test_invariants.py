@@ -1,0 +1,117 @@
+"""Tests for the online invariant monitors."""
+
+import pytest
+
+from repro.analysis.invariants import (
+    InvariantViolation,
+    MonotoneTimestampInvariant,
+    QuorumResponseInvariant,
+    WriterCoverInvariant,
+)
+from repro.core.ablation import NoCoverAvoidanceEmulation, ScriptedWriteBlocker
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler, RoundRobinScheduler
+
+
+class TestWriterCoverInvariant:
+    def test_holds_on_algorithm2(self):
+        emu = WSRegisterEmulation(k=2, n=5, f=2, scheduler=RandomScheduler(1))
+        monitor = WriterCoverInvariant(f=2)
+        emu.kernel.add_listener(monitor)
+        writers = [emu.add_writer(i) for i in range(2)]
+        for index in range(4):
+            writers[index % 2].enqueue("write", f"v{index}")
+            assert emu.system.run_to_quiescence().satisfied
+        assert monitor.checks > 0
+
+    def test_trips_on_cover_ablation(self):
+        """The no-avoidance client accumulates > f pending writes when the
+        environment withholds responds — Observation 3 breaks."""
+        env = ScriptedWriteBlocker()
+        emu = NoCoverAvoidanceEmulation(
+            k=1, n=3, f=1, scheduler=RoundRobinScheduler(), environment=env
+        )
+        monitor = WriterCoverInvariant(f=1)
+        emu.kernel.add_listener(monitor)
+        writer = emu.add_writer(0)
+        b0, b1, b2 = emu.layout.registers_for_writer(0)
+        env.block(b2)
+        writer.enqueue("write", "v1")
+        emu.kernel.run(
+            max_steps=10_000,
+            until=lambda k: writer.idle and not writer.program,
+        )
+        writer.enqueue("write", "v2")
+        with pytest.raises(InvariantViolation):
+            # After W2 returns, the writer covers b2 twice: two pending
+            # writes on one register still count as covering ops > f...
+            # it also ends with 2 pending ops total > f = 1.
+            emu.kernel.run(
+                max_steps=10_000,
+                until=lambda k: writer.idle and not writer.program,
+            )
+
+
+class TestMonotoneTimestampInvariant:
+    def test_holds_on_algorithm2(self):
+        emu = WSRegisterEmulation(k=2, n=5, f=2, scheduler=RandomScheduler(2))
+        monitor = MonotoneTimestampInvariant()
+        emu.kernel.add_listener(monitor)
+        writers = [emu.add_writer(i) for i in range(2)]
+        for index in range(4):
+            writers[index % 2].enqueue("write", f"v{index}")
+            assert emu.system.run_to_quiescence().satisfied
+
+    def test_trips_on_manual_violation(self):
+        from repro.sim.events import InvokeEvent, TriggerEvent
+        from repro.sim.ids import ClientId, ObjectId, OpId
+        from repro.sim.objects import LowLevelOp, OpKind
+        from repro.sim.values import TSVal
+
+        monitor = MonotoneTimestampInvariant()
+        monitor.on_invoke(InvokeEvent(1, ClientId(0), 0, "write", ("a",)))
+        op = LowLevelOp(
+            op_id=OpId(0),
+            client_id=ClientId(0),
+            object_id=ObjectId(0),
+            kind=OpKind.WRITE,
+            args=(TSVal(3, 0, "a"),),
+            trigger_time=2,
+            highlevel_seq=0,
+        )
+        monitor.on_trigger(TriggerEvent(2, op))
+        from repro.sim.events import ReturnEvent
+
+        monitor.on_return(ReturnEvent(3, ClientId(0), 0, "write", "ack"))
+        # Next write reuses a smaller timestamp: must trip.
+        monitor.on_invoke(InvokeEvent(4, ClientId(1), 1, "write", ("b",)))
+        bad = LowLevelOp(
+            op_id=OpId(1),
+            client_id=ClientId(1),
+            object_id=ObjectId(0),
+            kind=OpKind.WRITE,
+            args=(TSVal(2, 1, "b"),),
+            trigger_time=5,
+            highlevel_seq=1,
+        )
+        with pytest.raises(InvariantViolation):
+            monitor.on_trigger(TriggerEvent(5, bad))
+
+
+class TestQuorumResponseInvariant:
+    def test_holds_on_algorithm2(self):
+        emu = WSRegisterEmulation(k=1, n=5, f=2, scheduler=RandomScheduler(3))
+        monitor = QuorumResponseInvariant(emu.object_map, max_servers=5)
+        emu.kernel.add_listener(monitor)
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "x")
+        assert emu.system.run_to_quiescence().satisfied
+
+    def test_trips_when_budget_too_small(self):
+        emu = WSRegisterEmulation(k=1, n=5, f=2, scheduler=RandomScheduler(4))
+        monitor = QuorumResponseInvariant(emu.object_map, max_servers=1)
+        emu.kernel.add_listener(monitor)
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "x")
+        with pytest.raises(InvariantViolation):
+            emu.system.run_to_quiescence()

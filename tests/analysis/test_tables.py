@@ -1,0 +1,26 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["a", "bb"], [[1, 2], [33, 4]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_no_title(self):
+        text = render_table(["h"], [["v"]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "h"

@@ -1,0 +1,78 @@
+"""Tests for the epoch-guarded configuration service."""
+
+import pytest
+
+from repro.apps.config import ConfigService, InstallRaced
+
+
+class TestInstallFetch:
+    def test_initial_state(self):
+        service = ConfigService(n=5, f=2, initial_config={"replicas": 3})
+        epoch, config = service.fetch()
+        assert epoch == 0
+        assert config == {"replicas": 3}
+
+    def test_install_bumps_epoch(self):
+        service = ConfigService(n=5, f=2)
+        installed = service.install({"replicas": 5})
+        assert installed == 1
+        epoch, config = service.fetch()
+        assert (epoch, config) == (1, {"replicas": 5})
+
+    def test_successive_installs(self):
+        service = ConfigService(n=5, f=2)
+        for expected, replicas in enumerate([3, 5, 7], start=1):
+            assert service.install({"replicas": replicas}) == expected
+        epoch, config = service.fetch()
+        assert epoch == 3
+        assert config == {"replicas": 7}
+
+    def test_installs_by_different_processes(self):
+        service = ConfigService(n=5, f=2)
+        service.install("A", process=0)
+        service.install("B", process=1)
+        epoch, config = service.fetch(process=2)
+        assert (epoch, config) == (2, "B")
+
+
+class TestRaceDetection:
+    def test_stale_claim_detected(self):
+        """Simulate the race by advancing the epoch behind the
+        installer's back between its claim and its verification."""
+        service = ConfigService(n=5, f=2)
+
+        original_advance = service.epochs.advance
+
+        def racing_advance(process=0):
+            claimed = original_advance(process=process)
+            # Another process immediately claims a higher epoch.
+            service.epochs.propose(claimed + 1, process=99)
+            return claimed
+
+        service.epochs.advance = racing_advance
+        with pytest.raises(InstallRaced):
+            service.install("raced")
+        # The store was never written with the raced config.
+        _epoch, config = service.fetch()
+        assert config != "raced"
+
+
+class TestFaultTolerance:
+    def test_survives_f_crashes(self):
+        service = ConfigService(n=5, f=2)
+        service.install({"v": 1})
+        service.crash_server(0)
+        service.crash_server(3)
+        assert service.install({"v": 2}, process=1) == 2
+        epoch, config = service.fetch(process=2)
+        assert (epoch, config) == (2, {"v": 2})
+
+    def test_space_accounting(self):
+        service = ConfigService(n=5, f=2)
+        assert service.base_objects == 10  # 5 max-registers + 5 registers
+
+    def test_current_epoch_view(self):
+        service = ConfigService(n=5, f=2)
+        assert service.current_epoch() == 0
+        service.install("x")
+        assert service.current_epoch(process=7) == 1

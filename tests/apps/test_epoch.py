@@ -1,0 +1,58 @@
+"""Tests for the epoch service."""
+
+import pytest
+
+from repro.apps.epoch import EpochService
+from repro.sim.scheduling import RandomScheduler
+
+
+class TestEpochService:
+    def test_starts_at_zero(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(0))
+        assert service.current() == 0
+
+    def test_advance_increments(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(1))
+        assert service.advance() == 1
+        assert service.advance() == 2
+        assert service.current() == 2
+
+    def test_propose_monotone(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(2))
+        service.propose(10)
+        service.propose(4)  # stale proposal must not regress the epoch
+        assert service.current() == 10
+
+    def test_propose_negative_rejected(self):
+        service = EpochService(n=5, f=2)
+        with pytest.raises(ValueError):
+            service.propose(-1)
+
+    def test_multiple_processes_converge(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(3))
+        service.advance(process=0)
+        service.advance(process=1)
+        service.advance(process=2)
+        # All processes observe the same, maximal epoch.
+        assert service.current(process=0) == 3
+        assert service.current(process=7) == 3
+
+    def test_survives_f_crashes(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(4))
+        service.advance()
+        service.crash_server(1)
+        service.crash_server(4)
+        assert service.advance() == 2
+        assert service.current() == 2
+
+    def test_space_bound(self):
+        assert EpochService(n=5, f=2).base_objects == 5
+        assert EpochService(n=7, f=3).base_objects == 7
+
+    def test_epochs_never_regress_across_observers(self):
+        service = EpochService(n=5, f=2, scheduler=RandomScheduler(5))
+        seen = []
+        for round_index in range(4):
+            service.advance(process=round_index)
+            seen.append(service.current(process=99))
+        assert seen == sorted(seen)

@@ -1,0 +1,58 @@
+"""Shared test helpers.
+
+``drive_sequential`` runs a list of (runtime, op, args) invocations one at
+a time to quiescence — producing write-sequential histories — and returns
+the history.  ``ToyProtocol`` is a minimal single-object client used by
+the kernel-level tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.client import ClientProtocol
+from repro.sim.ids import ObjectId
+from repro.sim.objects import OpKind
+
+
+class ToyProtocol(ClientProtocol):
+    """Single-register client: op_write/op_read against ObjectId(0)."""
+
+    def __init__(self, object_id: ObjectId = ObjectId(0)):
+        self.object_id = object_id
+        self.results = {}
+
+    def op_write(self, ctx, value):
+        op = ctx.trigger(self.object_id, OpKind.WRITE, value)
+        yield lambda: op in self.results
+        self.results.pop(op)
+        return "ack"
+
+    def op_read(self, ctx):
+        op = ctx.trigger(self.object_id, OpKind.READ)
+        yield lambda: op in self.results
+        return self.results.pop(op)
+
+    def on_response(self, ctx, op):
+        self.results[op.op_id] = op.result
+
+
+def drive_sequential(system, invocations, max_steps: int = 200_000):
+    """Run invocations one at a time; returns the system history.
+
+    ``invocations`` is an iterable of ``(runtime, name, args)``.
+    """
+    for runtime, name, args in invocations:
+        runtime.enqueue(name, *args)
+        result = system.run_to_quiescence(max_steps=max_steps)
+        assert result.satisfied, f"{name}{args} did not complete: {result}"
+    return system.history
+
+
+def drive_concurrent(system, invocations, max_steps: int = 200_000):
+    """Enqueue all invocations, then run to quiescence."""
+    for runtime, name, args in invocations:
+        runtime.enqueue(name, *args)
+    result = system.run_to_quiescence(max_steps=max_steps)
+    assert result.satisfied, f"concurrent round did not complete: {result}"
+    return system.history

@@ -1,0 +1,125 @@
+"""Tests for the general linearizability checker."""
+
+from repro.consistency.linearizability import (
+    find_linearization,
+    is_linearizable,
+)
+from repro.consistency.specs import CASSpec, MaxRegisterSpec, RegisterSpec
+from repro.sim.history import HistoryOp
+from repro.sim.ids import ClientId
+
+
+def _op(seq, name, invoke, ret, args=(), result=None, client=0):
+    return HistoryOp(
+        seq=seq,
+        client_id=ClientId(client),
+        name=name,
+        args=args,
+        invoke_time=invoke,
+        return_time=ret,
+        result=result,
+    )
+
+
+class TestRegisterHistories:
+    def test_empty_history(self):
+        assert is_linearizable([], RegisterSpec(None))
+
+    def test_sequential_write_read(self):
+        ops = [
+            _op(0, "write", 1, 2, ("a",), "ack"),
+            _op(1, "read", 3, 4, (), "a"),
+        ]
+        assert is_linearizable(ops, RegisterSpec(None))
+
+    def test_stale_read_rejected(self):
+        ops = [
+            _op(0, "write", 1, 2, ("a",), "ack"),
+            _op(1, "write", 3, 4, ("b",), "ack"),
+            _op(2, "read", 5, 6, (), "a"),
+        ]
+        assert not is_linearizable(ops, RegisterSpec(None))
+
+    def test_concurrent_read_may_return_either(self):
+        write = _op(0, "write", 1, 10, ("a",), "ack")
+        for value in (None, "a"):
+            read = _op(1, "read", 2, 9, (), value)
+            assert is_linearizable([write, read], RegisterSpec(None))
+
+    def test_old_new_inversion_rejected(self):
+        """Two sequential reads must not observe values out of order once
+        both writes have completed."""
+        ops = [
+            _op(0, "write", 1, 2, ("a",), "ack"),
+            _op(1, "write", 3, 4, ("b",), "ack"),
+            _op(2, "read", 5, 6, (), "b"),
+            _op(3, "read", 7, 8, (), "a"),
+        ]
+        assert not is_linearizable(ops, RegisterSpec(None))
+
+    def test_pending_write_may_be_dropped(self):
+        ops = [
+            _op(0, "write", 1, None, ("a",), None),
+            _op(1, "read", 5, 6, (), None),
+        ]
+        assert is_linearizable(ops, RegisterSpec(None))
+
+    def test_pending_write_may_take_effect(self):
+        ops = [
+            _op(0, "write", 1, None, ("a",), None),
+            _op(1, "read", 5, 6, (), "a"),
+        ]
+        assert is_linearizable(ops, RegisterSpec(None))
+
+    def test_returns_witness_order(self):
+        ops = [
+            _op(0, "write", 1, 2, ("a",), "ack"),
+            _op(1, "read", 3, 4, (), "a"),
+        ]
+        order = find_linearization(ops, RegisterSpec(None))
+        assert [op.seq for op in order] == [0, 1]
+
+    def test_no_witness_when_unlinearizable(self):
+        ops = [
+            _op(0, "write", 1, 2, ("a",), "ack"),
+            _op(1, "read", 3, 4, (), "ghost"),
+        ]
+        assert find_linearization(ops, RegisterSpec(None)) is None
+
+
+class TestMaxRegisterHistories:
+    def test_monotone_reads_accepted(self):
+        ops = [
+            _op(0, "write_max", 1, 2, (5,), "ok"),
+            _op(1, "read_max", 3, 4, (), 5),
+            _op(2, "write_max", 5, 6, (3,), "ok"),
+            _op(3, "read_max", 7, 8, (), 5),
+        ]
+        assert is_linearizable(ops, MaxRegisterSpec(0))
+
+    def test_decreasing_reads_rejected(self):
+        ops = [
+            _op(0, "write_max", 1, 2, (5,), "ok"),
+            _op(1, "read_max", 3, 4, (), 5),
+            _op(2, "read_max", 5, 6, (), 0),
+        ]
+        assert not is_linearizable(ops, MaxRegisterSpec(0))
+
+
+class TestCASHistories:
+    def test_exactly_one_winner(self):
+        """Two concurrent cas(0, x) — exactly one may see the old 0."""
+        ops = [
+            _op(0, "cas", 1, 10, (0, 1), 0),
+            _op(1, "cas", 2, 9, (0, 2), 1),
+        ]
+        assert is_linearizable(ops, CASSpec(0))
+
+    def test_two_winners_rejected(self):
+        ops = [
+            _op(0, "cas", 1, 10, (0, 1), 0),
+            _op(1, "cas", 2, 9, (0, 2), 0),
+        ]
+        # Both claim success from state 0 on different new values: the
+        # second to linearize must have observed the first's new value.
+        assert not is_linearizable(ops, CASSpec(0))

@@ -1,0 +1,216 @@
+"""Tests for the multi-writer regularity checkers."""
+
+import pytest
+
+from repro.consistency.mw_regularity import (
+    check_mw_regular_strong,
+    check_mw_regular_weak,
+)
+from repro.sim.history import History, HistoryOp
+from repro.sim.ids import ClientId
+
+
+def _op(seq, name, invoke, ret, args=(), result=None, client=0):
+    return HistoryOp(
+        seq=seq,
+        client_id=ClientId(client),
+        name=name,
+        args=args,
+        invoke_time=invoke,
+        return_time=ret,
+        result=result,
+    )
+
+
+def _history(entries):
+    history = History()
+    for op in entries:
+        history.ops[op.seq] = op
+    return history
+
+
+class TestMWWeak:
+    def test_clean_sequential(self):
+        history = _history(
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "read", 3, 4, (), "a"),
+            ]
+        )
+        assert check_mw_regular_weak(history) == []
+
+    def test_concurrent_writes_either_value_ok(self):
+        writes = [
+            _op(0, "write", 1, 10, ("a",), "ack", client=0),
+            _op(1, "write", 2, 9, ("b",), "ack", client=1),
+        ]
+        for value in ("a", "b"):
+            history = _history(
+                writes + [_op(2, "read", 11, 12, (), value, client=2)]
+            )
+            assert check_mw_regular_weak(history) == []
+
+    def test_stale_read_violates(self):
+        history = _history(
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "write", 3, 4, ("b",), "ack"),
+                _op(2, "read", 5, 6, (), "a"),
+            ]
+        )
+        violations = check_mw_regular_weak(history)
+        assert len(violations) == 1
+        assert violations[0].condition == "MW-Weak"
+
+    def test_per_read_orders_may_differ(self):
+        """Two reads disagreeing on the order of concurrent writes are
+        fine for MW-Weak (each gets its own linearization)."""
+        history = _history(
+            [
+                _op(0, "write", 1, 10, ("a",), "ack", client=0),
+                _op(1, "write", 2, 9, ("b",), "ack", client=1),
+                _op(2, "read", 11, 12, (), "a", client=2),
+                _op(3, "read", 13, 14, (), "b", client=3),
+            ]
+        )
+        assert check_mw_regular_weak(history) == []
+
+    def test_initial_value(self):
+        history = _history([_op(0, "read", 1, 2, (), "v0")])
+        assert check_mw_regular_weak(history, initial_value="v0") == []
+        assert check_mw_regular_weak(history, initial_value="x")
+
+
+class TestMWStrong:
+    def test_clean_sequential(self):
+        history = _history(
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "read", 3, 4, (), "a"),
+            ]
+        )
+        assert check_mw_regular_strong(history) == []
+
+    def test_disagreeing_reads_need_not_fit_one_order(self):
+        """The MW-Weak example above fails MW-Strong: reads at disjoint
+        later times must agree on the final write order, and two
+        *sequential* reads returning a then b then a cannot."""
+        history = _history(
+            [
+                _op(0, "write", 1, 10, ("a",), "ack", client=0),
+                _op(1, "write", 2, 9, ("b",), "ack", client=1),
+                _op(2, "read", 11, 12, (), "a", client=2),
+                _op(3, "read", 13, 14, (), "b", client=2),
+                _op(4, "read", 15, 16, (), "a", client=2),
+            ]
+        )
+        assert check_mw_regular_weak(history) == []
+        assert check_mw_regular_strong(history) != []
+
+    def test_consistent_reads_fit_one_order(self):
+        history = _history(
+            [
+                _op(0, "write", 1, 10, ("a",), "ack", client=0),
+                _op(1, "write", 2, 9, ("b",), "ack", client=1),
+                _op(2, "read", 11, 12, (), "b", client=2),
+                _op(3, "read", 13, 14, (), "b", client=2),
+            ]
+        )
+        assert check_mw_regular_strong(history) == []
+
+    def test_real_time_respected_in_order_search(self):
+        history = _history(
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "write", 3, 4, ("b",), "ack"),
+                _op(2, "read", 5, 6, (), "a"),
+            ]
+        )
+        # Only order (a, b) is real-time-consistent; the read wants a.
+        assert check_mw_regular_strong(history) != []
+
+    def test_write_cap(self):
+        history = _history(
+            [
+                _op(i, "write", 2 * i + 1, 2 * i + 2, (f"v{i}",), "ack")
+                for i in range(9)
+            ]
+        )
+        with pytest.raises(ValueError):
+            check_mw_regular_strong(history, max_writes=7)
+
+    def test_no_reads_trivially_ok(self):
+        history = _history([_op(0, "write", 1, 2, ("a",), "ack")])
+        assert check_mw_regular_strong(history) == []
+
+
+class TestHierarchy:
+    def test_strong_implies_weak_on_samples(self):
+        samples = [
+            [
+                _op(0, "write", 1, 10, ("a",), "ack", client=0),
+                _op(1, "write", 2, 9, ("b",), "ack", client=1),
+                _op(2, "read", 3, 8, (), "a", client=2),
+            ],
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "read", 3, 4, (), "a"),
+                _op(2, "write", 5, 6, ("b",), "ack"),
+                _op(3, "read", 7, 8, (), "b"),
+            ],
+        ]
+        for entries in samples:
+            history = _history(entries)
+            if check_mw_regular_strong(history) == []:
+                assert check_mw_regular_weak(history) == []
+
+    def test_collapse_to_ws_regular_when_write_sequential(self):
+        from repro.consistency.ws import check_ws_regular
+
+        history = _history(
+            [
+                _op(0, "write", 1, 2, ("a",), "ack"),
+                _op(1, "write", 5, 8, ("b",), "ack"),
+                _op(2, "read", 6, 7, (), "a"),
+            ]
+        )
+        assert history.is_write_sequential()
+        ws = check_ws_regular(history) == []
+        weak = check_mw_regular_weak(history) == []
+        strong = check_mw_regular_strong(history) == []
+        assert ws == weak == strong
+
+
+class TestAgainstEmulations:
+    def test_abd_regular_variant_is_mw_weak(self):
+        from repro.core.abd import ABDEmulation
+        from repro.sim.scheduling import RandomScheduler
+
+        for seed in range(5):
+            emu = ABDEmulation(
+                n=5, f=2, write_back=False, scheduler=RandomScheduler(seed)
+            )
+            writers = [emu.add_client() for _ in range(2)]
+            reader = emu.add_client()
+            writers[0].enqueue("write", "a")
+            writers[1].enqueue("write", "b")
+            reader.enqueue("read")
+            assert emu.system.run_to_quiescence().satisfied
+            assert check_mw_regular_weak(emu.history) == []
+
+    def test_abd_atomic_variant_is_mw_strong(self):
+        from repro.core.abd import ABDEmulation
+        from repro.sim.scheduling import RandomScheduler
+
+        for seed in range(5):
+            emu = ABDEmulation(
+                n=5, f=2, write_back=True, scheduler=RandomScheduler(seed)
+            )
+            writers = [emu.add_client() for _ in range(2)]
+            readers = [emu.add_client() for _ in range(2)]
+            for i, writer in enumerate(writers):
+                writer.enqueue("write", f"w{i}")
+            for reader in readers:
+                reader.enqueue("read")
+            assert emu.system.run_to_quiescence().satisfied
+            assert check_mw_regular_strong(emu.history) == []

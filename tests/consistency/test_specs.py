@@ -1,0 +1,67 @@
+"""Tests for sequential specifications."""
+
+import pytest
+
+from repro.consistency.specs import CASSpec, MaxRegisterSpec, RegisterSpec
+
+
+class TestRegisterSpec:
+    def test_initial_read(self):
+        spec = RegisterSpec("v0")
+        state = spec.initial_state()
+        _, result = spec.apply(state, "read", ())
+        assert result == "v0"
+
+    def test_write_then_read(self):
+        spec = RegisterSpec(None)
+        state, ack = spec.apply(spec.initial_state(), "write", ("x",))
+        assert ack == "ack"
+        _, result = spec.apply(state, "read", ())
+        assert result == "x"
+
+    def test_last_write_wins(self):
+        spec = RegisterSpec(None)
+        state = spec.initial_state()
+        state, _ = spec.apply(state, "write", (1,))
+        state, _ = spec.apply(state, "write", (2,))
+        _, result = spec.apply(state, "read", ())
+        assert result == 2
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            RegisterSpec(None).apply(None, "cas", (1, 2))
+
+
+class TestMaxRegisterSpec:
+    def test_monotone(self):
+        spec = MaxRegisterSpec(0)
+        state = spec.initial_state()
+        state, _ = spec.apply(state, "write_max", (5,))
+        state, _ = spec.apply(state, "write_max", (3,))
+        _, result = spec.apply(state, "read_max", ())
+        assert result == 5
+
+    def test_write_max_result(self):
+        spec = MaxRegisterSpec(0)
+        _, result = spec.apply(0, "write_max", (1,))
+        assert result == "ok"
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            MaxRegisterSpec(0).apply(0, "write", (1,))
+
+
+class TestCASSpec:
+    def test_success(self):
+        spec = CASSpec(0)
+        state, old = spec.apply(spec.initial_state(), "cas", (0, 7))
+        assert (state, old) == (7, 0)
+
+    def test_failure_keeps_state(self):
+        spec = CASSpec(3)
+        state, old = spec.apply(spec.initial_state(), "cas", (0, 7))
+        assert (state, old) == (3, 3)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            CASSpec(0).apply(0, "read", ())

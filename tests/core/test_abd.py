@@ -1,0 +1,146 @@
+"""Tests for ABD over per-server max-registers (Table 1, max-register row)."""
+
+import pytest
+
+from tests.conftest import drive_concurrent, drive_sequential
+
+from repro.consistency.register_atomicity import is_register_history_atomic
+from repro.consistency.ws import check_ws_regular
+from repro.core.abd import ABDEmulation
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+
+
+def _emulation(n=5, f=2, seed=0, write_back=True):
+    return ABDEmulation(
+        n=n, f=f, scheduler=RandomScheduler(seed), write_back=write_back
+    )
+
+
+class TestBasics:
+    def test_read_after_write(self):
+        emu = _emulation()
+        a, b = emu.add_client(), emu.add_client()
+        drive_sequential(
+            emu.system, [(a, "write", ("x",)), (b, "read", ())]
+        )
+        assert emu.history.reads[0].result == "x"
+
+    def test_initial_value(self):
+        emu = ABDEmulation(
+            n=3, f=1, initial_value="v0", scheduler=RandomScheduler(1)
+        )
+        reader = emu.add_client()
+        drive_sequential(emu.system, [(reader, "read", ())])
+        assert emu.history.reads[0].result == "v0"
+
+    def test_unbounded_writers(self):
+        """ABD's space does not depend on k: any number of clients write."""
+        emu = _emulation()
+        clients = [emu.add_client() for _ in range(7)]
+        script = [
+            (client, "write", (f"v{i}",))
+            for i, client in enumerate(clients)
+        ]
+        reader = emu.add_client()
+        script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        assert emu.history.reads[0].result == "v6"
+        assert emu.total_objects == 5  # unchanged by 8 clients
+
+    def test_minimum_server_count_enforced(self):
+        with pytest.raises(ValueError):
+            ABDEmulation(n=4, f=2)
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sequential_history_atomic(self, seed):
+        emu = _emulation(seed=seed)
+        a, b, reader = emu.add_client(), emu.add_client(), emu.add_client()
+        drive_sequential(
+            emu.system,
+            [
+                (a, "write", ("1",)),
+                (reader, "read", ()),
+                (b, "write", ("2",)),
+                (reader, "read", ()),
+                (a, "write", ("3",)),
+                (reader, "read", ()),
+            ],
+        )
+        assert is_register_history_atomic(emu.history)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_concurrent_history_atomic(self, seed):
+        emu = _emulation(seed=seed)
+        writers = [emu.add_client() for _ in range(2)]
+        readers = [emu.add_client() for _ in range(2)]
+        invocations = []
+        for i, writer in enumerate(writers):
+            invocations.append((writer, "write", (f"w{i}",)))
+        for reader in readers:
+            invocations.append((reader, "read", ()))
+        drive_concurrent(emu.system, invocations)
+        assert is_register_history_atomic(emu.history)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regular_variant_is_ws_regular(self, seed):
+        emu = _emulation(seed=seed, write_back=False)
+        writer = emu.add_client()
+        readers = [emu.add_client() for _ in range(2)]
+        for i in range(3):
+            writer.enqueue("write", f"v{i}")
+            for reader in readers:
+                reader.enqueue("read")
+            assert emu.system.run_to_quiescence().satisfied
+        assert check_ws_regular(emu.history, cross_check=True) == []
+
+
+class TestFaultTolerance:
+    def test_f_crashes_tolerated(self):
+        emu = _emulation()
+        emu.kernel.crash_server(ServerId(0))
+        emu.kernel.crash_server(ServerId(3))
+        a, b = emu.add_client(), emu.add_client()
+        drive_sequential(
+            emu.system, [(a, "write", ("ok",)), (b, "read", ())]
+        )
+        assert emu.history.reads[0].result == "ok"
+
+    def test_crash_between_phases(self):
+        emu = _emulation(seed=3)
+        plan = CrashPlan()
+        plan.crash_server_at(10, ServerId(1))
+        plan.install(emu.kernel)
+        a, b = emu.add_client(), emu.add_client()
+        drive_sequential(
+            emu.system,
+            [(a, "write", ("x",)), (b, "write", ("y",)), (a, "read", ())],
+        )
+        assert emu.history.reads[0].result == "y"
+        assert is_register_history_atomic(emu.history)
+
+    def test_more_than_f_crashes_blocks(self):
+        emu = _emulation()
+        for s in range(3):
+            emu.kernel.crash_server(ServerId(s))
+        client = emu.add_client()
+        client.enqueue("write", "stuck")
+        result = emu.kernel.run(max_steps=20_000)
+        assert result.reason == "quiescent"
+        assert not emu.history.writes[0].complete
+
+
+class TestTimestamps:
+    def test_later_write_gets_higher_timestamp(self):
+        emu = _emulation()
+        a, b = emu.add_client(), emu.add_client()
+        drive_sequential(
+            emu.system, [(a, "write", ("1",)), (b, "write", ("2",))]
+        )
+        values = [obj.value for obj in emu.object_map.objects]
+        top = max(values)
+        assert top.val == "2"
+        assert top.ts == 2

@@ -1,0 +1,111 @@
+"""Targeted tests for the G_i branch of the adversary (Definition 1.7).
+
+``G_i = M_i`` exactly when ``|Q_i| < |F_i|`` — the corner where a server
+in F already *responded* to a phase write (joining F_i) while fewer
+non-F servers are covered.  The Lemma 1 runs against Algorithm 2 rarely
+enter this corner (their trigger batches fill Q_i instantly), so these
+tests drive it explicitly with forced steps.
+"""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.core.adversary import AdversaryAdi
+from repro.core.covering import CoveringTracker
+from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+def _setup(n_servers=4, f=1):
+    placements = [(s, "register", None) for s in range(n_servers)]
+    system = build_system(
+        n_servers, placements, scheduler=RandomScheduler(0)
+    )
+    tracker = CoveringTracker(system.object_map, f)
+    system.kernel.add_listener(tracker)
+    adversary = AdversaryAdi(tracker)
+    system.kernel.environment = adversary
+    return system, tracker, adversary
+
+
+class TestGiActivation:
+    def test_gi_empty_while_balanced(self):
+        system, tracker, adversary = _setup()
+        F = {ServerId(2), ServerId(3)}
+        tracker.start_phase(1, F, 0)
+        assert tracker.gi() == set()
+
+    def test_gi_becomes_mi_when_fi_exceeds_qi(self):
+        system, tracker, adversary = _setup()
+        F = {ServerId(2), ServerId(3)}  # f+1 = 2 servers
+        tracker.start_phase(1, F, 0)
+
+        # A phase write on F-server s2 responds: F_i = {s2}, Q_i = {}.
+        c0 = system.add_client(ClientId(0), ToyProtocol(ObjectId(2)))
+        c0.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        assert tracker.fi() == {ServerId(2)}
+        assert tracker.qi() == set()
+
+        # Now cover F-server s3 (no responded write there): M_i = {s3}.
+        c1 = system.add_client(ClientId(1), ToyProtocol(ObjectId(3)))
+        c1.enqueue("write", 2)
+        system.kernel.force_client_step(ClientId(1))
+        assert tracker.mi() == {ServerId(3)}
+        # |Q_i| = 0 < |F_i| = 1: the G_i branch activates.
+        assert tracker.gi() == {ServerId(3)}
+
+        # And the adversary therefore blocks the covering write on s3.
+        pending = [
+            op
+            for op in system.kernel.pending.values()
+            if op.object_id == ObjectId(3)
+        ]
+        assert len(pending) == 1
+        assert adversary.blocked(pending[0])
+
+    def test_gi_deactivates_once_qi_catches_up(self):
+        system, tracker, adversary = _setup()
+        F = {ServerId(2), ServerId(3)}
+        tracker.start_phase(1, F, 0)
+
+        # F_i = {s2} as before.
+        c0 = system.add_client(ClientId(0), ToyProtocol(ObjectId(2)))
+        c0.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        # Cover s3 (M_i) and a non-F server s0 (joins Q_i).
+        c1 = system.add_client(ClientId(1), ToyProtocol(ObjectId(3)))
+        c1.enqueue("write", 2)
+        system.kernel.force_client_step(ClientId(1))
+        assert tracker.gi() == {ServerId(3)}
+        c2 = system.add_client(ClientId(2), ToyProtocol(ObjectId(0)))
+        c2.enqueue("write", 3)
+        system.kernel.force_client_step(ClientId(2))
+        assert tracker.qi() == {ServerId(0)}
+        # |Q_i| = 1 = |F_i|: G_i snaps back to empty (Definition 1.7).
+        assert tracker.gi() == set()
+
+    def test_blocked_writes_by_condition2_cover_gi_servers(self):
+        """Run the same situation through the kernel's veto path."""
+        system, tracker, adversary = _setup()
+        F = {ServerId(2), ServerId(3)}
+        tracker.start_phase(1, F, 0)
+        c0 = system.add_client(ClientId(0), ToyProtocol(ObjectId(2)))
+        c0.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        c1 = system.add_client(ClientId(1), ToyProtocol(ObjectId(3)))
+        c1.enqueue("write", 2)
+        result = system.kernel.run(max_steps=1_000)
+        # c1's write is on a G_i server: vetoed until the phase ends.
+        assert result.reason == "blocked"
+        assert adversary.vetoes > 0
+        tracker.end_phase()
+        assert system.run_to_quiescence(max_steps=1_000).satisfied

@@ -1,0 +1,168 @@
+"""Tests for the covering tracker (Definition 1 bookkeeping)."""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.core.covering import CoveringTracker
+from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+def _system(n_servers=5, registers_per_server=1, seed=0):
+    placements = [
+        (s, "register", None)
+        for s in range(n_servers)
+        for _ in range(registers_per_server)
+    ]
+    return build_system(n_servers, placements, scheduler=RandomScheduler(seed))
+
+
+def _tracker(system, f=2):
+    tracker = CoveringTracker(system.object_map, f)
+    system.kernel.add_listener(tracker)
+    return tracker
+
+
+class MultiWriteProtocol(ToyProtocol):
+    """Triggers a write on each given register, waits for a quorum."""
+
+    def __init__(self, registers, quorum):
+        super().__init__()
+        self.registers = registers
+        self.quorum = quorum
+
+    def op_write(self, ctx, value):
+        ops = [
+            ctx.trigger(oid, __import__("repro.sim.objects", fromlist=["OpKind"]).OpKind.WRITE, value)
+            for oid in self.registers
+        ]
+        yield lambda: sum(1 for op in ops if op in self.results) >= self.quorum
+        return "ack"
+
+
+class TestGlobalCovering:
+    def test_trigger_covers_respond_uncovers(self):
+        system = _system()
+        tracker = _tracker(system)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        assert tracker.cov() == {ObjectId(0)}
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        assert tracker.cov() == set()
+
+    def test_reads_never_cover(self):
+        system = _system()
+        tracker = _tracker(system)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        client.enqueue("read")
+        system.kernel.force_client_step(ClientId(0))
+        assert tracker.cov() == set()
+
+    def test_completed_writers_tracked(self):
+        system = _system()
+        tracker = _tracker(system)
+        client = system.add_client(ClientId(3), ToyProtocol(ObjectId(0)))
+        client.enqueue("write", 1)
+        assert tracker.completed() == set()
+        system.run_to_quiescence()
+        assert tracker.completed() == {ClientId(3)}
+
+    def test_reader_not_in_completed(self):
+        system = _system()
+        tracker = _tracker(system)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        client.enqueue("read")
+        system.run_to_quiescence()
+        assert tracker.completed() == set()
+
+
+class TestPhases:
+    def test_phase_requires_f_plus_1_servers(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        with pytest.raises(ValueError):
+            tracker.start_phase(1, {ServerId(0)}, 0)
+
+    def test_covi_excludes_previously_covered(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))  # covers b0
+        F = {ServerId(2), ServerId(3), ServerId(4)}
+        tracker.start_phase(1, F, system.kernel.time)
+        assert tracker.covi() == set()
+        other = system.add_client(ClientId(1), ToyProtocol(ObjectId(1)))
+        other.enqueue("write", 2)
+        system.kernel.force_client_step(ClientId(1))
+        assert tracker.covi() == {ObjectId(1)}
+        assert tracker.cov() == {ObjectId(0), ObjectId(1)}
+
+    def test_qi_excludes_F(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        F = {ServerId(0), ServerId(1), ServerId(2)}
+        tracker.start_phase(1, F, 0)
+        # Cover a register on an F server and one outside.
+        inside = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        outside = system.add_client(ClientId(1), ToyProtocol(ObjectId(3)))
+        inside.enqueue("write", 1)
+        outside.enqueue("write", 2)
+        system.kernel.force_client_step(ClientId(0))
+        system.kernel.force_client_step(ClientId(1))
+        assert tracker.qi() == {ServerId(3)}
+
+    def test_qi_freezes_beyond_f(self):
+        system = _system(n_servers=6)
+        tracker = _tracker(system, f=1)
+        F = {ServerId(4), ServerId(5)}
+        tracker.start_phase(1, F, 0)
+        for index in range(3):  # cover servers 0,1,2 (outside F)
+            client = system.add_client(
+                ClientId(index), ToyProtocol(ObjectId(index))
+            )
+            client.enqueue("write", index)
+            system.kernel.force_client_step(ClientId(index))
+        # |delta(Cov_i)\F| = 3 > f = 1: frozen at the first server.
+        assert tracker.qi() == {ServerId(0)}
+
+    def test_fi_tracks_responded_phase_writes_on_F(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        F = {ServerId(0), ServerId(1), ServerId(2)}
+        tracker.start_phase(1, F, 0)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(1)))
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        assert tracker.fi() == set()
+        assert tracker.mi() == {ServerId(1)}
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        assert tracker.fi() == {ServerId(1)}
+        assert tracker.mi() == set()
+
+    def test_prephase_writes_do_not_count_in_rri(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        client = system.add_client(ClientId(0), ToyProtocol(ObjectId(0)))
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))  # pending before phase
+        F = {ServerId(0), ServerId(1), ServerId(2)}
+        tracker.start_phase(1, F, system.kernel.time)
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        assert tracker.fi() == set()  # respond of a pre-phase write
+
+    def test_end_phase(self):
+        system = _system()
+        tracker = _tracker(system, f=2)
+        tracker.start_phase(1, {ServerId(0), ServerId(1), ServerId(2)}, 0)
+        state = tracker.end_phase()
+        assert state.index == 1
+        assert tracker.phase is None
+        with pytest.raises(RuntimeError):
+            tracker.end_phase()

@@ -1,0 +1,148 @@
+"""The Lemma 4 / Figure 2 indistinguishability argument, executed.
+
+The proof derives a contradiction by exhibiting two runs the reader
+cannot tell apart: in r' the latest write never happened (its effects are
+absent for a legitimate reason — crashes), in r'' the write *completed*
+but its footprint is hidden behind crashed servers and still-pending
+covering writes.  The reader performs identical low-level operations with
+identical results in both, so it must return the same value — correct in
+r', stale in r''.
+
+Against a *correct* algorithm (Algorithm 2) the situation cannot be
+manufactured: the write's footprint is too wide (Lemma 4: more than 2f
+servers).  Against the under-replicating ablation it can.  This test
+builds both runs for the ablated client and checks the reader's
+observation sequences are literally identical; and it verifies the
+attempt fails against real Algorithm 2.
+"""
+
+import pytest
+
+from repro.core.ablation import ScriptedWriteBlocker, SmallQuorumEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.objects import OpKind
+from repro.sim.scheduling import RoundRobinScheduler
+
+
+def _reader_observations(emulation, reader):
+    """The reader's completed low-level reads as (object, result) pairs,
+    in trigger order — what the reader 'saw'."""
+    observations = []
+    for op in sorted(
+        emulation.kernel.ops.values(), key=lambda op: op.trigger_time
+    ):
+        if op.client_id == reader.client_id and op.kind is OpKind.READ:
+            if op.respond_time is not None:
+                observations.append((op.object_id, op.result))
+    return sorted(observations, key=lambda pair: pair[0].index)
+
+
+def _run_r_prime():
+    """r': no write ever happens; server s0 crashes; a read runs."""
+    emu = SmallQuorumEmulation(
+        k=1, n=3, f=1, initial_value="v0", scheduler=RoundRobinScheduler()
+    )
+    b0, b1, b2 = emu.layout.registers_for_writer(0)
+    reader = emu.add_reader()
+    emu.kernel.crash_server(emu.layout.server_of(b0))
+    reader.enqueue("read")
+    result = emu.kernel.run(
+        max_steps=100_000, until=lambda k: reader.idle and not reader.program
+    )
+    assert result.satisfied
+    return emu, reader
+
+
+def _run_r_double_prime():
+    """r'': the ablated write *completes* on b0 alone, s0 crashes, the
+    covering writes on b1/b2 stay pending; the same read runs."""
+    env = ScriptedWriteBlocker()
+    emu = SmallQuorumEmulation(
+        k=1,
+        n=3,
+        f=1,
+        initial_value="v0",
+        scheduler=RoundRobinScheduler(),
+        environment=env,
+    )
+    b0, b1, b2 = emu.layout.registers_for_writer(0)
+    env.block(b1)
+    env.block(b2)
+    writer = emu.add_writer(0)
+    reader = emu.add_reader()
+    writer.enqueue("write", "v1")
+    result = emu.kernel.run(
+        max_steps=100_000, until=lambda k: writer.idle and not writer.program
+    )
+    assert result.satisfied, "the ablated write should return on one ack"
+    emu.kernel.crash_server(emu.layout.server_of(b0))
+    reader.enqueue("read")
+    result = emu.kernel.run(
+        max_steps=100_000, until=lambda k: reader.idle and not reader.program
+    )
+    assert result.satisfied
+    return emu, reader
+
+
+class TestAblatedIndistinguishability:
+    def test_reader_observations_identical(self):
+        emu_a, reader_a = _run_r_prime()
+        emu_b, reader_b = _run_r_double_prime()
+        assert _reader_observations(emu_a, reader_a) == (
+            _reader_observations(emu_b, reader_b)
+        )
+
+    def test_same_return_correct_in_r_prime_stale_in_r_double_prime(self):
+        emu_a, _ = _run_r_prime()
+        emu_b, _ = _run_r_double_prime()
+        read_a = emu_a.history.reads[-1]
+        read_b = emu_b.history.reads[-1]
+        assert read_a.result == read_b.result == "v0"
+        # r': no write -> v0 is the right answer.
+        from repro.consistency.ws import check_ws_safe
+
+        assert check_ws_safe(emu_a.history, initial_value="v0") == []
+        # r'': the write completed -> v0 is a WS-Safety violation.
+        assert check_ws_safe(emu_b.history, initial_value="v0") != []
+
+
+class TestAlgorithm2Resists:
+    def test_write_footprint_exceeds_2f_servers(self):
+        """Lemma 4 on the real client: a complete write has triggered on
+        more than 2f servers, so no f crashes + f covering writes can hide
+        it from a reader."""
+        emu = WSRegisterEmulation(
+            k=1, n=3, f=1, scheduler=RoundRobinScheduler()
+        )
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "v1")
+        assert emu.system.run_to_quiescence().satisfied
+        touched = {
+            emu.object_map.server_of(op.object_id)
+            for op in emu.kernel.ops.values()
+            if op.client_id == writer.client_id and op.is_mutator
+        }
+        assert len(touched) > 2 * 1  # > 2f
+
+    def test_real_client_blocks_rather_than_underreplicates(self):
+        """Hold two of three registers: the real write refuses to return
+        (so the r'' world simply cannot be constructed)."""
+        env = ScriptedWriteBlocker()
+        emu = WSRegisterEmulation(
+            k=1,
+            n=3,
+            f=1,
+            initial_value="v0",
+            scheduler=RoundRobinScheduler(),
+            environment=env,
+        )
+        b0, b1, b2 = emu.layout.registers_for_writer(0)
+        env.block(b1)
+        env.block(b2)
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "v1")
+        result = emu.kernel.run(
+            max_steps=10_000,
+            until=lambda k: writer.idle and not writer.program,
+        )
+        assert not result.satisfied  # still waiting for its real quorum

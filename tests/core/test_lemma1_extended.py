@@ -1,0 +1,104 @@
+"""Extended Lemma 1 scenarios: overflow sets, reads under the adversary,
+and accounting details."""
+
+import pytest
+
+from repro.consistency.ws import check_ws_safe
+from repro.core.lemma1 import Lemma1Runner
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.ids import ServerId
+
+
+def _factory(k, n, f):
+    def factory(scheduler):
+        return WSRegisterEmulation(k=k, n=n, f=f, scheduler=scheduler)
+
+    return factory
+
+
+class TestOverflowSets:
+    """z does not divide k: the construction must still cover k*f."""
+
+    @pytest.mark.parametrize(
+        "k,n,f",
+        [
+            (5, 9, 2),  # z=3: one full set + overflow of 2 writers
+            (4, 9, 2),  # z=3: overflow of 1 writer
+            (7, 11, 2),  # z=4: overflow of 3 writers
+        ],
+    )
+    def test_claims_with_overflow(self, k, n, f):
+        runner = Lemma1Runner(_factory(k, n, f), k=k, f=f)
+        runner.run()
+        runner.assert_all_claims()
+        assert runner.covered_growth()[-1] >= k * f
+
+
+class TestReadsDuringAdversary:
+    """Reads are never blocked by Ad_i (it only vetoes writes); a read
+    issued between phases must return the latest completed write even
+    with kf covering writes outstanding."""
+
+    def test_read_between_phases(self):
+        k, n, f = 3, 7, 2
+        runner = Lemma1Runner(_factory(k, n, f), k=k, f=f)
+        emu = runner.emulation
+        values = ["v1", "v2", "v3"]
+        for index, value in enumerate(values, start=1):
+            runner.run_phase(index, value)
+            reader = emu.add_reader()
+            reader.enqueue("read")
+            result = emu.kernel.run(
+                max_steps=200_000,
+                until=lambda k_: reader.idle and not reader.program,
+            )
+            assert result.satisfied, "read blocked by the adversary?"
+            assert emu.history.reads[-1].result == value
+        assert check_ws_safe(emu.history) == []
+        runner.assert_all_claims()
+
+
+class TestAccountingDetails:
+    def test_covering_writes_belong_to_distinct_writers(self):
+        k, n, f = 3, 7, 2
+        runner = Lemma1Runner(_factory(k, n, f), k=k, f=f)
+        runner.run()
+        pending = [
+            op
+            for op in runner.emulation.kernel.pending.values()
+            if op.is_mutator
+        ]
+        by_client = {}
+        for op in pending:
+            by_client.setdefault(op.client_id, []).append(op)
+        # Each of the k writers left exactly f covering writes.
+        assert len(by_client) == k
+        assert all(len(ops) == f for ops in by_client.values())
+
+    def test_covered_registers_on_distinct_servers_per_phase(self):
+        k, n, f = 2, 5, 2
+        runner = Lemma1Runner(_factory(k, n, f), k=k, f=f)
+        reports = runner.run()
+        object_map = runner.emulation.object_map
+        pending = [
+            op
+            for op in runner.emulation.kernel.pending.values()
+            if op.is_mutator
+        ]
+        for client, ops in _group_by_client(pending).items():
+            servers = {object_map.server_of(op.object_id) for op in ops}
+            assert len(servers) == len(ops)  # one covered per server
+
+    def test_phase_end_times_increase(self):
+        runner = Lemma1Runner(_factory(2, 5, 2), k=2, f=2)
+        reports = runner.run()
+        ends = [report.end_time for report in reports]
+        assert ends == sorted(ends)
+        assert ends[0] > 0
+
+
+def _group_by_client(ops):
+    grouped = {}
+    for op in ops:
+        grouped.setdefault(op.client_id, []).append(op)
+    return grouped

@@ -1,0 +1,74 @@
+"""Tests for the quorum-system verification."""
+
+import pytest
+
+from repro.core.collect_maxreg import PerWriterLayout
+from repro.core.layout import RegisterLayout
+from repro.core.quorums import (
+    QuorumSystem,
+    verify_quorum_properties,
+)
+
+
+class TestFamilies:
+    def test_write_quorum_sizes(self):
+        layout = RegisterLayout(2, 5, 2)
+        system = QuorumSystem(layout)
+        for quorum in system.write_quorums(0):
+            assert len(quorum) == len(layout.sets[0]) - 2
+
+    def test_read_quorum_server_sets(self):
+        layout = RegisterLayout(1, 3, 1)
+        system = QuorumSystem(layout)
+        server_sets = list(system.read_quorum_server_sets())
+        assert len(server_sets) == 3  # C(3, 2)
+        assert all(len(s) == 2 for s in server_sets)
+
+    def test_read_quorum_materialization(self):
+        layout = RegisterLayout(1, 3, 1)
+        system = QuorumSystem(layout)
+        for servers in system.read_quorum_server_sets():
+            quorum = system.read_quorum(servers)
+            for register in quorum:
+                assert layout.server_of(register) in servers
+
+    def test_enumeration_guard(self):
+        layout = RegisterLayout(10, 23, 2)  # large saturated layout
+        system = QuorumSystem(layout)
+        system.MAX_ENUMERATION = 10
+        with pytest.raises(ValueError):
+            list(system.read_quorum_server_sets())
+
+
+class TestSectionThreeThreeClaims:
+    @pytest.mark.parametrize(
+        "k,n,f",
+        [(1, 3, 1), (2, 3, 1), (2, 5, 2), (3, 5, 2), (3, 7, 2), (5, 6, 2)],
+    )
+    def test_properties_hold_for_paper_layouts(self, k, n, f):
+        stats = verify_quorum_properties(RegisterLayout(k, n, f))
+        for entry in stats:
+            # The paper's phrasing: a read quorum misses at most f of any
+            # set (one register per unscanned server).
+            assert entry.min_read_cover >= entry.set_size - f
+            assert entry.min_write_read_intersection >= 1
+
+    def test_figure1_instance(self):
+        stats = verify_quorum_properties(RegisterLayout(5, 6, 2))
+        # z = 1: every set has exactly one writer and supports one.
+        assert all(s.writers_assigned == s.writers_supported == 1
+                   for s in stats)
+
+    def test_per_writer_layout_also_satisfies(self):
+        layout = PerWriterLayout(2, 5, 2)
+        stats = verify_quorum_properties(layout)
+        for entry in stats:
+            assert entry.min_read_cover >= entry.set_size - 2
+
+    def test_intersection_lower_bound_is_achieved(self):
+        """The worst case |R_i| - 2f really occurs (the bound is tight),
+        which is why Lemma 7 needs the f+1-server argument rather than
+        a bigger intersection."""
+        layout = RegisterLayout(1, 3, 1)  # |R_0| = 3, f = 1
+        stats = verify_quorum_properties(layout)[0]
+        assert stats.min_write_read_intersection == 1  # = |R| - 2f

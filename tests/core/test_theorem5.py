@@ -1,0 +1,50 @@
+"""Tests for the Theorem 5 negative control (2f servers insufficient)."""
+
+import pytest
+
+from repro.core import bounds
+from repro.core.abd import ABDEmulation
+from repro.core.cas_maxreg import CASABDEmulation
+from repro.core.ft_maxreg import FTMaxRegister
+from repro.core.theorem5 import TwoFQuorumEmulation, partition_violation
+from repro.core.ws_register import WSRegisterEmulation
+
+
+class TestPartitionViolation:
+    @pytest.mark.parametrize("f", [1, 2, 3, 4])
+    def test_split_brain_breaks_ws_safety(self, f):
+        violations = partition_violation(f)
+        assert len(violations) == 1
+        assert violations[0].read.result == "v0"
+        assert violations[0].allowed == ["v1"]
+
+    def test_unsound_emulation_fine_without_partition(self):
+        """The 2f-server emulation *looks* fine in kind schedules — the
+        flaw only shows under the partition, which is why the bound is a
+        worst-case statement."""
+        emu = TwoFQuorumEmulation(f=1, initial_value="v0")
+        writer = emu.add_client()
+        reader = emu.add_client()
+        writer.enqueue("write", "v1")
+        assert emu.system.run_to_quiescence().satisfied
+        reader.enqueue("read")
+        assert emu.system.run_to_quiescence().satisfied
+        assert emu.history.reads[0].result == "v1"
+
+
+class TestAllEmulationsEnforceTheorem5:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_minimum_server_formula(self, f):
+        assert bounds.min_servers(f) == 2 * f + 1
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_deployments_reject_2f_servers(self, f):
+        n = 2 * f
+        with pytest.raises(ValueError):
+            ABDEmulation(n=n, f=f)
+        with pytest.raises(ValueError):
+            CASABDEmulation(n=n, f=f)
+        with pytest.raises(ValueError):
+            FTMaxRegister(n=n, f=f)
+        with pytest.raises(ValueError):
+            WSRegisterEmulation(k=1, n=n, f=f)

@@ -1,0 +1,171 @@
+"""Tests for Algorithm 2 (the WS-Regular k-register) — failure-free runs."""
+
+import pytest
+
+from tests.conftest import drive_concurrent, drive_sequential
+
+from repro.consistency.ws import check_ws_regular, check_ws_safe
+from repro.core import bounds
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+
+
+def _emulation(k=3, n=7, f=2, seed=0):
+    return WSRegisterEmulation(
+        k=k, n=n, f=f, scheduler=RandomScheduler(seed)
+    )
+
+
+class TestBasicOperation:
+    def test_read_after_write(self):
+        emu = _emulation()
+        writer = emu.add_writer(0)
+        reader = emu.add_reader()
+        drive_sequential(
+            emu.system,
+            [(writer, "write", ("hello",)), (reader, "read", ())],
+        )
+        assert emu.history.reads[0].result == "hello"
+
+    def test_read_initial_value(self):
+        emu = WSRegisterEmulation(
+            k=1, n=3, f=1, initial_value="v0", scheduler=RandomScheduler(1)
+        )
+        reader = emu.add_reader()
+        drive_sequential(emu.system, [(reader, "read", ())])
+        assert emu.history.reads[0].result == "v0"
+
+    def test_multiple_writers_take_turns(self):
+        emu = _emulation(k=3)
+        writers = [emu.add_writer(i) for i in range(3)]
+        reader = emu.add_reader()
+        script = []
+        for round_index in range(2):
+            for w, writer in enumerate(writers):
+                script.append((writer, "write", (f"w{w}r{round_index}",)))
+                script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        results = [r.result for r in emu.history.reads]
+        assert results == [
+            "w0r0", "w1r0", "w2r0", "w0r1", "w1r1", "w2r1",
+        ]
+
+    def test_same_writer_writes_repeatedly(self):
+        """Covered-register avoidance: the writer's second write must skip
+        registers still covered by its first write and still complete."""
+        emu = _emulation(k=1, n=3, f=1)
+        writer = emu.add_writer(0)
+        reader = emu.add_reader()
+        script = [(writer, "write", (f"v{i}",)) for i in range(5)]
+        script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        assert emu.history.reads[0].result == "v4"
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ws_regular_sequential_runs(self, seed):
+        emu = _emulation(k=3, seed=seed)
+        writers = [emu.add_writer(i) for i in range(3)]
+        reader = emu.add_reader()
+        script = []
+        for i in range(2):
+            for w, writer in enumerate(writers):
+                script.append((writer, "write", (f"w{w}-{i}",)))
+                script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        assert check_ws_regular(emu.history, cross_check=True) == []
+        assert check_ws_safe(emu.history) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ws_regular_with_concurrent_reads(self, seed):
+        emu = _emulation(k=2, n=5, f=2, seed=seed)
+        writers = [emu.add_writer(i) for i in range(2)]
+        readers = [emu.add_reader() for _ in range(3)]
+        # Writes sequential; readers all concurrent with each write.
+        for i, writer in enumerate(writers):
+            writer.enqueue("write", f"w{i}")
+            for reader in readers:
+                reader.enqueue("read")
+            result = emu.system.run_to_quiescence()
+            assert result.satisfied
+        assert check_ws_regular(emu.history, cross_check=True) == []
+
+    def test_write_only_run_is_write_sequential(self):
+        emu = _emulation(k=2)
+        writers = [emu.add_writer(i) for i in range(2)]
+        drive_sequential(
+            emu.system,
+            [(writers[i % 2], "write", (f"v{i}",)) for i in range(4)],
+        )
+        assert emu.history.is_write_sequential()
+        assert emu.history.is_write_only()
+
+
+class TestResourceComplexity:
+    @pytest.mark.parametrize(
+        "k,n,f",
+        [(1, 3, 1), (2, 5, 2), (3, 7, 2), (5, 6, 2), (4, 13, 3)],
+    )
+    def test_uses_exactly_theorem3_registers(self, k, n, f):
+        emu = WSRegisterEmulation(k=k, n=n, f=f)
+        assert emu.layout.total_registers == bounds.register_upper_bound(
+            k, n, f
+        )
+        assert emu.object_map.n_objects == emu.layout.total_registers
+
+    def test_rejects_reader_writing(self):
+        emu = _emulation()
+        reader = emu.add_reader()
+        reader.enqueue("write", "nope")
+        with pytest.raises(RuntimeError):
+            emu.system.run_to_quiescence()
+
+    def test_duplicate_writer_rejected(self):
+        emu = _emulation()
+        emu.add_writer(0)
+        with pytest.raises(ValueError):
+            emu.add_writer(0)
+
+
+class TestWaitFreedomBookkeeping:
+    def test_writer_leaves_at_most_f_pending(self):
+        """Observation 3: a writer with no in-flight operation covers at
+        most f base registers."""
+        emu = _emulation(k=2, n=5, f=2, seed=3)
+        writer = emu.add_writer(0)
+        for i in range(4):
+            writer.enqueue("write", f"v{i}")
+            result = emu.system.run_to_quiescence()
+            assert result.satisfied
+            pending = [
+                op
+                for op in emu.kernel.pending.values()
+                if op.is_mutator and op.client_id == writer.client_id
+            ]
+            assert len(pending) <= 2
+
+    def test_timestamps_strictly_increase(self):
+        emu = _emulation(k=2, n=5, f=2)
+        writers = [emu.add_writer(i) for i in range(2)]
+        drive_sequential(
+            emu.system,
+            [(writers[i % 2], "write", (f"v{i}",)) for i in range(4)],
+        )
+        # Inspect the registers: every stored TSVal for a later write must
+        # carry a strictly larger timestamp (Lemma 6).
+        stored = [
+            obj.value
+            for obj in emu.object_map.objects
+            if obj.value.ts > 0
+        ]
+        assert stored, "no writes landed"
+        by_value = {}
+        for tsval in stored:
+            by_value.setdefault(tsval.val, set()).add(tsval.ts)
+        order = sorted(by_value, key=lambda v: min(by_value[v]))
+        last_ts = 0
+        for value in order:
+            ts = min(by_value[value])
+            assert ts >= last_ts
+            last_ts = ts

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 2 under server crashes (f-tolerance, wait-freedom)."""
+
+import pytest
+
+from tests.conftest import drive_sequential
+
+from repro.consistency.ws import check_ws_regular
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+
+
+def _emulation(k=2, n=5, f=2, seed=0):
+    return WSRegisterEmulation(k=k, n=n, f=f, scheduler=RandomScheduler(seed))
+
+
+class TestCrashTolerance:
+    @pytest.mark.parametrize("crashed", [[0], [0, 1], [3, 4]])
+    def test_operations_complete_with_up_to_f_crashes(self, crashed):
+        emu = _emulation()
+        for server_index in crashed:
+            emu.kernel.crash_server(ServerId(server_index))
+        writer = emu.add_writer(0)
+        reader = emu.add_reader()
+        drive_sequential(
+            emu.system,
+            [(writer, "write", ("survives",)), (reader, "read", ())],
+        )
+        assert emu.history.reads[0].result == "survives"
+
+    def test_crash_mid_run_preserves_ws_regularity(self):
+        emu = _emulation(seed=5)
+        CrashPlan().crash_server_at(30, ServerId(1)).install(emu.kernel)
+        writers = [emu.add_writer(i) for i in range(2)]
+        reader = emu.add_reader()
+        script = []
+        for i in range(3):
+            script.append((writers[i % 2], "write", (f"v{i}",)))
+            script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        assert emu.object_map.server(ServerId(1)).crashed
+        assert check_ws_regular(emu.history, cross_check=True) == []
+
+    def test_two_staggered_crashes(self):
+        emu = _emulation(seed=8)
+        plan = CrashPlan()
+        plan.crash_server_at(20, ServerId(0))
+        plan.crash_server_at(60, ServerId(2))
+        plan.install(emu.kernel)
+        writer = emu.add_writer(0)
+        reader = emu.add_reader()
+        script = [(writer, "write", (f"v{i}",)) for i in range(3)]
+        script.append((reader, "read", ()))
+        drive_sequential(emu.system, script)
+        assert emu.history.reads[0].result == "v2"
+        assert check_ws_regular(emu.history, cross_check=True) == []
+
+    def test_more_than_f_crashes_blocks_liveness(self):
+        """Beyond the failure threshold the emulation may (and here does)
+        lose liveness: quorums become unavailable."""
+        emu = _emulation(n=5, f=2)
+        for server_index in range(3):  # f+1 = 3 crashes
+            emu.kernel.crash_server(ServerId(server_index))
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "doomed")
+        result = emu.kernel.run(max_steps=50_000)
+        assert result.reason == "quiescent"  # stuck waiting, not returned
+        assert not emu.history.writes[0].complete
+
+    def test_client_crash_leaves_covering_writes(self):
+        """A client crash mid-write leaves pending low-level writes that
+        remain covering — the failure mode the lower bound exploits."""
+        emu = _emulation(seed=2)
+        writer = emu.add_writer(0)
+        writer.enqueue("write", "partial")
+
+        def write_phase_started(kernel) -> bool:
+            return any(
+                op.is_mutator and op.client_id == writer.client_id
+                for op in kernel.pending.values()
+            )
+
+        result = emu.kernel.run(max_steps=10_000, until=write_phase_started)
+        assert result.satisfied
+        emu.kernel.crash_client(writer.client_id)
+        result = emu.kernel.run(max_steps=50_000)
+        assert result.reason == "quiescent"
+        assert not emu.history.writes[0].complete
+        # The client is gone but its low-level writes took effect anyway;
+        # none remain pending only because the scheduler drained them —
+        # what matters is the high-level write never returned.
+
+
+class TestReadersUnderCrashes:
+    def test_reader_not_blocked_by_crashed_scan(self):
+        emu = _emulation(seed=4)
+        emu.kernel.crash_server(ServerId(4))
+        writer = emu.add_writer(0)
+        reader = emu.add_reader()
+        drive_sequential(
+            emu.system,
+            [(writer, "write", ("x",)), (reader, "read", ())],
+        )
+        # The scan of the crashed server never completes; n-f others do.
+        assert emu.history.reads[0].result == "x"
+
+    def test_many_readers_with_crash(self):
+        emu = _emulation(seed=6)
+        emu.kernel.crash_server(ServerId(0))
+        writer = emu.add_writer(0)
+        readers = [emu.add_reader() for _ in range(4)]
+        writer.enqueue("write", "y")
+        emu.system.run_to_quiescence()
+        for reader in readers:
+            reader.enqueue("read")
+        result = emu.system.run_to_quiescence()
+        assert result.satisfied
+        assert all(r.result == "y" for r in emu.history.reads)

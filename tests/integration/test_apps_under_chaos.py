@@ -1,0 +1,96 @@
+"""Integration: the applications survive chaotic environments.
+
+The KV store and epoch service are driven with chaotic respond delays
+plus crashes — the weather the substrate hands real deployments — and
+must stay correct.
+"""
+
+import pytest
+
+from repro.apps.epoch import EpochService
+from repro.core.ft_maxreg import FTMaxRegister
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.chaos import ChaosEnvironment
+from repro.sim.scheduling import RandomScheduler
+from repro.verify import verify_run
+
+
+class TestEpochUnderChaos:
+    @pytest.mark.parametrize("seed", [3, 13, 23])
+    def test_epochs_monotone(self, seed):
+        service = EpochService(
+            n=5,
+            f=2,
+            scheduler=RandomScheduler(seed),
+            environment=ChaosEnvironment(
+                seed=seed, veto_probability=0.6, max_delay=50
+            ),
+        )
+        observed = [service.current()]
+        for process in range(4):
+            service.advance(process=process)
+            observed.append(service.current(process=9))
+        assert observed == sorted(observed)
+        assert observed[-1] >= 4 - 1  # advances may coalesce, but move
+
+    def test_epoch_with_crashes_and_chaos(self):
+        service = EpochService(
+            n=5,
+            f=2,
+            scheduler=RandomScheduler(4),
+            environment=ChaosEnvironment(
+                seed=4, veto_probability=0.5, max_delay=40
+            ),
+        )
+        service.advance()
+        service.crash_server(0)
+        service.advance(process=1)
+        service.crash_server(2)
+        assert service.current(process=5) == 2
+
+
+class TestRegisterUnderChaosPlusCrashes:
+    @pytest.mark.parametrize("seed", [7, 17])
+    def test_full_verification(self, seed):
+        emu = WSRegisterEmulation(
+            k=2,
+            n=5,
+            f=2,
+            scheduler=RandomScheduler(seed),
+            environment=ChaosEnvironment(
+                seed=seed, veto_probability=0.5, max_delay=60
+            ),
+        )
+        writers = [emu.add_writer(i) for i in range(2)]
+        reader = emu.add_reader()
+        writers[0].enqueue("write", "a")
+        assert emu.system.run_to_quiescence(max_steps=3_000_000).satisfied
+        from repro.sim.ids import ServerId
+
+        emu.kernel.crash_server(ServerId(seed % 5))
+        writers[1].enqueue("write", "b")
+        reader.enqueue("read")
+        assert emu.system.run_to_quiescence(max_steps=3_000_000).satisfied
+        report = verify_run(emu, condition="ws-regular")
+        assert report.ok, report.details()
+
+
+class TestFTMaxRegisterUnderChaos:
+    def test_monotone_and_atomic(self):
+        register = FTMaxRegister(
+            n=5,
+            f=2,
+            scheduler=RandomScheduler(9),
+            environment=ChaosEnvironment(
+                seed=9, veto_probability=0.7, max_delay=50
+            ),
+        )
+        clients = [register.add_client() for _ in range(3)]
+        clients[0].enqueue("write_max", 4)
+        clients[1].enqueue("write_max", 9)
+        clients[2].enqueue("read_max")
+        assert register.system.run_to_quiescence(max_steps=3_000_000).satisfied
+        report = verify_run(
+            register, condition="max-register-atomic", initial_value=0
+        )
+        assert report.ok, report.details()

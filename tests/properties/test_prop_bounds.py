@@ -1,0 +1,99 @@
+"""Property-based tests for the closed-form bounds."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+
+params = st.tuples(
+    st.integers(min_value=1, max_value=30),  # k
+    st.integers(min_value=1, max_value=6),  # f
+    st.integers(min_value=0, max_value=40),  # n slack above 2f+1
+)
+
+
+@given(params)
+@settings(max_examples=200)
+def test_lower_at_most_upper(p):
+    k, f, slack = p
+    n = 2 * f + 1 + slack
+    assert bounds.register_lower_bound(k, n, f) <= (
+        bounds.register_upper_bound(k, n, f)
+    )
+
+
+@given(params)
+@settings(max_examples=200)
+def test_lower_bound_floor_kf_plus_f_plus_1(p):
+    k, f, slack = p
+    n = 2 * f + 1 + slack
+    assert bounds.register_lower_bound(k, n, f) >= k * f + f + 1
+
+
+@given(params)
+@settings(max_examples=200)
+def test_monotone_nondecreasing_in_k(p):
+    k, f, slack = p
+    n = 2 * f + 1 + slack
+    assert bounds.register_lower_bound(k + 1, n, f) > (
+        bounds.register_lower_bound(k, n, f) - 1
+    )
+    assert bounds.register_upper_bound(k + 1, n, f) >= (
+        bounds.register_upper_bound(k, n, f)
+    )
+
+
+@given(params)
+@settings(max_examples=200)
+def test_monotone_nonincreasing_in_n(p):
+    k, f, slack = p
+    n = 2 * f + 1 + slack
+    assert bounds.register_lower_bound(k, n + 1, f) <= (
+        bounds.register_lower_bound(k, n, f)
+    )
+    assert bounds.register_upper_bound(k, n + 1, f) <= (
+        bounds.register_upper_bound(k, n, f)
+    )
+
+
+@given(params)
+@settings(max_examples=200)
+def test_layout_sizes_consistent(p):
+    k, f, slack = p
+    n = 2 * f + 1 + slack
+    sizes = bounds.layout_set_sizes(k, n, f)
+    assert sum(sizes) == bounds.register_upper_bound(k, n, f)
+    assert all(2 * f + 1 <= s <= n for s in sizes)
+    # Each set supports its assigned writers.
+    z = bounds.z_value(n, f)
+    assigned = [z] * (k // z) + ([k % z] if k % z else [])
+    assert len(assigned) == len(sizes)
+    for size, writers in zip(sizes, assigned):
+        assert bounds.writers_supported_by_set(size, f) >= writers
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=6))
+@settings(max_examples=100)
+def test_coincidence_points(k, f):
+    n_min = 2 * f + 1
+    assert bounds.register_lower_bound(k, n_min, f) == k * (2 * f + 1)
+    assert bounds.register_upper_bound(k, n_min, f) == k * (2 * f + 1)
+    n_sat = bounds.saturation_n(k, f)
+    assert bounds.register_lower_bound(k, n_sat, f) == k * f + f + 1
+    assert bounds.register_upper_bound(k, n_sat, f) == k * f + f + 1
+
+
+@given(params)
+@settings(max_examples=200)
+def test_theorem7_consistency(p):
+    """The Theorem 7 server bound is monotone in k and anti-monotone in m."""
+    k, f, slack = p
+    m = 1 + slack
+    assert bounds.servers_needed_bounded_storage(
+        k + 1, f, m
+    ) >= bounds.servers_needed_bounded_storage(k, f, m)
+    assert bounds.servers_needed_bounded_storage(
+        k, f, m + 1
+    ) <= bounds.servers_needed_bounded_storage(k, f, m)

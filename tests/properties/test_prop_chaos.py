@@ -1,0 +1,70 @@
+"""Property tests: safety survives chaotic response delays.
+
+Random (seed, veto probability, delay bound) chaos environments combined
+with random schedulers: the emulations must stay live (operations finish)
+and safe (their consistency condition holds).  This composes the two
+randomness sources — scheduling order and environment vetoes — for much
+wilder interleavings than either alone.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.register_atomicity import is_register_history_atomic
+from repro.consistency.ws import check_ws_regular
+from repro.core.abd import ABDEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.chaos import ChaosEnvironment
+from repro.sim.scheduling import RandomScheduler
+
+
+@st.composite
+def chaos_configs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    veto = draw(st.floats(min_value=0.0, max_value=0.9))
+    delay = draw(st.integers(min_value=5, max_value=120))
+    return seed, veto, delay
+
+
+@given(chaos_configs())
+@settings(max_examples=20, deadline=None)
+def test_algorithm2_ws_regular_under_chaos(config):
+    seed, veto, delay = config
+    emu = WSRegisterEmulation(
+        k=2,
+        n=5,
+        f=2,
+        scheduler=RandomScheduler(seed),
+        environment=ChaosEnvironment(
+            seed=seed, veto_probability=veto, max_delay=delay
+        ),
+    )
+    writers = [emu.add_writer(i) for i in range(2)]
+    reader = emu.add_reader()
+    for index in range(2):
+        writers[index].enqueue("write", f"v{index}")
+        reader.enqueue("read")
+        result = emu.system.run_to_quiescence(max_steps=3_000_000)
+        assert result.satisfied, f"liveness lost under chaos: {result}"
+    assert check_ws_regular(emu.history, cross_check=True) == []
+
+
+@given(chaos_configs())
+@settings(max_examples=20, deadline=None)
+def test_abd_atomic_under_chaos(config):
+    seed, veto, delay = config
+    emu = ABDEmulation(
+        n=5,
+        f=2,
+        scheduler=RandomScheduler(seed),
+        environment=ChaosEnvironment(
+            seed=seed, veto_probability=veto, max_delay=delay
+        ),
+    )
+    writers = [emu.add_client() for _ in range(2)]
+    reader = emu.add_client()
+    for i, writer in enumerate(writers):
+        writer.enqueue("write", f"w{i}")
+    reader.enqueue("read")
+    assert emu.system.run_to_quiescence(max_steps=3_000_000).satisfied
+    assert is_register_history_atomic(emu.history)

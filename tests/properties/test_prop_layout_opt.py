@@ -1,0 +1,57 @@
+"""Property tests for capacitated layouts (Theorem 7's constructive side)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.layout_opt import capacitated_layout
+
+
+@st.composite
+def plan_params(draw):
+    k = draw(st.integers(min_value=1, max_value=10))
+    f = draw(st.integers(min_value=1, max_value=3))
+    capacity = draw(st.integers(min_value=1, max_value=3 * k))
+    return k, f, capacity
+
+
+@given(plan_params())
+@settings(max_examples=150, deadline=None)
+def test_plan_respects_all_constraints(params):
+    k, f, capacity = params
+    plan = capacitated_layout(k, f, capacity)
+    # Capacity respected, floors respected, layout valid.
+    assert plan.max_per_server <= capacity
+    assert plan.servers >= bounds.min_servers(f)
+    assert plan.servers >= plan.theorem7_floor
+    plan.layout.validate()
+    assert plan.total_registers == bounds.register_upper_bound(
+        k, plan.servers, f
+    )
+
+
+@given(plan_params())
+@settings(max_examples=100, deadline=None)
+def test_plan_is_minimal_for_this_layout_family(params):
+    """One fewer server either violates the capacity or the 2f+1 floor —
+    the search really returns the first feasible n."""
+    k, f, capacity = params
+    plan = capacitated_layout(k, f, capacity)
+    n_smaller = plan.servers - 1
+    if n_smaller < bounds.min_servers(f) or n_smaller < plan.theorem7_floor:
+        return  # already at a hard floor
+    from repro.core.layout import RegisterLayout
+
+    smaller = RegisterLayout(k, n_smaller, f)
+    assert max(smaller.storage_profile().values()) > capacity
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_capacity_one_reaches_one_per_server(k, f):
+    plan = capacitated_layout(k, f, 1)
+    assert plan.max_per_server == 1
+    assert plan.servers >= plan.total_registers

@@ -1,0 +1,43 @@
+"""Property tests: the Lemma 1 construction succeeds for random
+parameters and random choices of the protected set F.
+
+The lemma quantifies over *every* F of size f+1; here hypothesis picks F
+and the dimensions, and the claims must hold each time.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemma1 import Lemma1Runner
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.ids import ServerId
+
+
+@st.composite
+def lemma1_params(draw):
+    f = draw(st.integers(min_value=1, max_value=2))
+    k = draw(st.integers(min_value=1, max_value=3))
+    n = 2 * f + 1 + draw(st.integers(min_value=0, max_value=3))
+    f_seed = draw(st.integers(min_value=0, max_value=1_000))
+    return k, n, f, f_seed
+
+
+@given(lemma1_params())
+@settings(max_examples=12, deadline=None)
+def test_lemma1_claims_for_random_F(params):
+    k, n, f, f_seed = params
+    rng = random.Random(f_seed)
+    F = {ServerId(i) for i in rng.sample(range(n), f + 1)}
+
+    def factory(scheduler):
+        return WSRegisterEmulation(k=k, n=n, f=f, scheduler=scheduler)
+
+    runner = Lemma1Runner(factory, k=k, f=f, F=F)
+    reports = runner.run()
+    runner.assert_all_claims()
+    # Covering grows by at least f per write and ends >= kf.
+    growth = runner.covered_growth()
+    assert growth[-1] >= k * f
+    assert all(b - a >= f for a, b in zip([0] + growth, growth))

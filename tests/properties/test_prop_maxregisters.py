@@ -1,0 +1,105 @@
+"""Model-based property tests for every max-register implementation.
+
+All three constructions — the k-register collect max-register, the
+single-CAS Algorithm 1, and the quorum-replicated FTMaxRegister — must
+agree with the trivial reference model (a running maximum) on random
+sequential operation scripts, under random seeds and (for the replicated
+one) random in-budget crashes.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cas_maxreg import SingleCASMaxRegister
+from repro.core.collect_maxreg import CollectMaxRegister
+from repro.core.ft_maxreg import FTMaxRegister
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+
+
+@st.composite
+def scripts(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("write_max"),
+                    st.integers(min_value=1, max_value=50),
+                ),
+                st.tuples(st.just("read_max"), st.none()),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return seed, ops
+
+
+def _drive(register, clients, ops, model_initial=0):
+    """Run ops sequentially round-robin over clients; compare to model."""
+    model = model_initial
+    for index, (name, arg) in enumerate(ops):
+        client = clients[index % len(clients)]
+        if name == "write_max":
+            client.enqueue("write_max", arg)
+            assert register.system.run_to_quiescence(
+                max_steps=500_000
+            ).satisfied
+            model = max(model, arg)
+        else:
+            client.enqueue("read_max")
+            assert register.system.run_to_quiescence(
+                max_steps=500_000
+            ).satisfied
+            observed = register.history.all_ops()[-1].result
+            assert observed == model, (name, index, observed, model)
+    return model
+
+
+@given(scripts())
+@settings(max_examples=25, deadline=None)
+def test_collect_maxregister_matches_model(script):
+    seed, ops = script
+    register = CollectMaxRegister(
+        k=2, initial_value=0, scheduler=RandomScheduler(seed)
+    )
+    clients = [register.add_writer(0), register.add_writer(1)]
+    readers = [register.add_reader()]
+    # writers handle write_max, readers handle read_max
+    model = 0
+    for index, (name, arg) in enumerate(ops):
+        if name == "write_max":
+            clients[index % 2].enqueue("write_max", arg)
+            model = max(model, arg)
+        else:
+            readers[0].enqueue("read_max")
+        assert register.system.run_to_quiescence(max_steps=500_000).satisfied
+        if name == "read_max":
+            assert register.history.all_ops()[-1].result == model
+
+
+@given(scripts())
+@settings(max_examples=25, deadline=None)
+def test_single_cas_maxregister_matches_model(script):
+    seed, ops = script
+    register = SingleCASMaxRegister(
+        initial_value=0, scheduler=RandomScheduler(seed)
+    )
+    clients = [register.add_client(), register.add_client()]
+    _drive(register, clients, ops)
+
+
+@given(scripts(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_ft_maxregister_matches_model(script, crash):
+    seed, ops = script
+    register = FTMaxRegister(n=5, f=2, scheduler=RandomScheduler(seed))
+    if crash:
+        rng = random.Random(seed)
+        for server_index in rng.sample(range(5), 2):
+            register.kernel.crash_server(ServerId(server_index))
+    clients = [register.add_client(), register.add_client()]
+    _drive(register, clients, ops)

@@ -1,0 +1,25 @@
+"""Property tests: quorum properties hold on random small layouts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import RegisterLayout
+from repro.core.quorums import verify_quorum_properties
+
+
+@st.composite
+def small_layouts(draw):
+    f = draw(st.integers(min_value=1, max_value=2))
+    k = draw(st.integers(min_value=1, max_value=4))
+    n = 2 * f + 1 + draw(st.integers(min_value=0, max_value=2))
+    return RegisterLayout(k, n, f)
+
+
+@given(small_layouts())
+@settings(max_examples=40, deadline=None)
+def test_quorum_properties_exhaustively(layout):
+    stats = verify_quorum_properties(layout)
+    for entry in stats:
+        assert entry.min_read_cover >= entry.set_size - layout.f
+        assert entry.min_write_read_intersection >= 1
+        assert entry.writers_supported >= entry.writers_assigned

@@ -1,0 +1,52 @@
+"""Property tests for the (2f+1)k replicated-max-register emulation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.ws import check_ws_regular, check_ws_safe
+from repro.core import bounds
+from repro.core.collect_maxreg import ReplicatedMaxRegisterEmulation
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+
+
+@st.composite
+def replicated_params(draw):
+    f = draw(st.integers(min_value=1, max_value=2))
+    k = draw(st.integers(min_value=1, max_value=3))
+    n = 2 * f + 1
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    crash = draw(st.booleans())
+    return k, n, f, seed, crash
+
+
+@given(replicated_params())
+@settings(max_examples=25, deadline=None)
+def test_ws_regular_with_random_crashes(params):
+    k, n, f, seed, crash = params
+    emu = ReplicatedMaxRegisterEmulation(
+        k=k, n=n, f=f, scheduler=RandomScheduler(seed)
+    )
+    if crash:
+        rng = random.Random(seed)
+        for server in rng.sample(range(n), f):
+            emu.kernel.crash_server(ServerId(server))
+    writers = [emu.add_writer(i) for i in range(k)]
+    reader = emu.add_reader()
+    for index in range(min(k, 2)):
+        writers[index].enqueue("write", f"v{index}")
+        reader.enqueue("read")
+        assert emu.system.run_to_quiescence(max_steps=1_000_000).satisfied
+    assert check_ws_regular(emu.history, cross_check=True) == []
+    assert check_ws_safe(emu.history) == []
+
+
+@given(replicated_params())
+@settings(max_examples=25, deadline=None)
+def test_space_is_tight_at_minimum_servers(params):
+    k, n, f, _seed, _crash = params
+    emu = ReplicatedMaxRegisterEmulation(k=k, n=n, f=f)
+    assert emu.total_registers == bounds.register_lower_bound(k, n, f)
+    assert emu.total_registers == k * (2 * f + 1)

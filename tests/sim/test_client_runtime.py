@@ -1,0 +1,132 @@
+"""Tests for the client coroutine runtime: sub-tasks, waits, handlers."""
+
+import pytest
+
+from repro.sim.client import ClientProtocol
+from repro.sim.ids import ClientId, ObjectId
+from repro.sim.objects import OpKind
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+class SpawningProtocol(ClientProtocol):
+    """Writes to several registers concurrently via spawned tasks."""
+
+    def __init__(self, n_objects, quorum):
+        self.n_objects = n_objects
+        self.quorum = quorum
+        self.results = {}
+
+    def _write_one(self, ctx, index, value):
+        op = ctx.trigger(ObjectId(index), OpKind.WRITE, value)
+        yield lambda: op in self.results
+        return self.results.pop(op)
+
+    def op_write_all(self, ctx, value):
+        handles = [
+            ctx.spawn(self._write_one(ctx, i, value), name=f"w{i}")
+            for i in range(self.n_objects)
+        ]
+        yield ctx.count_done(handles, self.quorum)
+        return sum(1 for h in handles if h.done)
+
+    def on_response(self, ctx, op):
+        self.results[op.op_id] = op.result
+
+
+def _system(n_objects=3, seed=0):
+    placements = [(0, "register", None) for _ in range(n_objects)]
+    return build_system(1, placements, scheduler=RandomScheduler(seed))
+
+
+class TestSubTasks:
+    def test_quorum_wait_returns_after_quorum(self):
+        system = _system(3)
+        client = system.add_client(
+            ClientId(0), SpawningProtocol(n_objects=3, quorum=2)
+        )
+        client.enqueue("write_all", "x")
+        result = system.run_to_quiescence()
+        assert result.satisfied
+        assert system.history.all_ops()[0].result >= 2
+
+    def test_all_tasks_cleared_after_return(self):
+        system = _system(3)
+        client = system.add_client(
+            ClientId(0), SpawningProtocol(n_objects=3, quorum=3)
+        )
+        client.enqueue("write_all", "x")
+        system.run_to_quiescence()
+        assert client.tasks == []
+        assert client.idle
+
+    def test_spawn_outside_operation_rejected(self):
+        system = _system(1)
+        protocol = SpawningProtocol(1, 1)
+        client = system.add_client(ClientId(0), protocol)
+
+        def dummy():
+            yield None
+
+        with pytest.raises(RuntimeError):
+            client.spawn(dummy(), "stray")
+
+
+class TestCoroutineContract:
+    class BadYield(ClientProtocol):
+        def op_bad(self, ctx):
+            yield 42
+
+    def test_non_predicate_yield_rejected(self):
+        system = _system(1)
+        client = system.add_client(ClientId(0), self.BadYield())
+        client.enqueue("bad")
+        with pytest.raises(TypeError):
+            system.kernel.run(max_steps=10)
+
+    class NoSuchOp(ClientProtocol):
+        pass
+
+    def test_unknown_operation_rejected(self):
+        system = _system(1)
+        client = system.add_client(ClientId(0), self.NoSuchOp())
+        client.enqueue("nope")
+        with pytest.raises(ValueError):
+            system.kernel.run(max_steps=10)
+
+    class ImmediateReturn(ClientProtocol):
+        def op_noop(self, ctx):
+            return "done"
+            yield  # pragma: no cover — makes this a generator
+
+    def test_operation_returning_without_waiting(self):
+        system = _system(1)
+        client = system.add_client(ClientId(0), self.ImmediateReturn())
+        client.enqueue("noop")
+        result = system.run_to_quiescence()
+        assert result.satisfied
+        assert system.history.all_ops()[0].result == "done"
+
+
+class TestProgramQueue:
+    class Echo(ClientProtocol):
+        def op_echo(self, ctx, value):
+            return value
+            yield  # pragma: no cover
+
+    def test_operations_run_in_fifo_order(self):
+        system = _system(1)
+        client = system.add_client(ClientId(0), self.Echo())
+        for value in ["a", "b", "c"]:
+            client.enqueue("echo", value)
+        system.run_to_quiescence()
+        results = [op.result for op in system.history.all_ops()]
+        assert results == ["a", "b", "c"]
+
+    def test_crash_clears_program(self):
+        system = _system(1)
+        client = system.add_client(ClientId(0), self.Echo())
+        client.enqueue("echo", "x")
+        client.crash()
+        assert not client.enabled()
+        assert not client.program

@@ -1,0 +1,73 @@
+"""Tests for crash plans."""
+
+from tests.conftest import ToyProtocol
+
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ClientId, ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+def _system(seed=0):
+    return build_system(
+        2,
+        [(0, "register", None), (1, "register", None)],
+        scheduler=RandomScheduler(seed),
+    )
+
+
+class TestCrashAtStep:
+    def test_server_crash_at_step(self):
+        system = _system()
+        CrashPlan().crash_server_at(1, ServerId(1)).install(system.kernel)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        client.enqueue("read")
+        result = system.run_to_quiescence()
+        # Object 0 lives on server 0, unaffected.
+        assert result.satisfied
+        assert system.object_map.server(ServerId(1)).crashed
+
+    def test_client_crash_at_step(self):
+        system = _system()
+        CrashPlan().crash_client_at(1, ClientId(0)).install(system.kernel)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        client.enqueue("write", 2)
+        system.kernel.run(max_steps=100)
+        assert client.crashed
+
+    def test_crash_not_before_step(self):
+        system = _system()
+        CrashPlan().crash_server_at(50, ServerId(0)).install(system.kernel)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence(max_steps=10)
+        assert not system.object_map.server(ServerId(0)).crashed
+
+
+class TestCrashOnPredicate:
+    def test_crash_when_value_written(self):
+        system = _system()
+
+        def value_landed(kernel):
+            return kernel.object_map.object(
+                kernel.object_map.objects_on(ServerId(0))[0]
+            ).value == 1
+
+        CrashPlan().crash_server_when(value_landed, ServerId(0)).install(
+            system.kernel
+        )
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.kernel.run(max_steps=200)
+        assert system.object_map.server(ServerId(0)).crashed
+
+    def test_predicate_fires_once(self):
+        system = _system()
+        plan = CrashPlan().crash_server_when(lambda k: True, ServerId(0))
+        plan.install(system.kernel)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.kernel.run(max_steps=50)
+        assert all(entry.fired for entry in plan._on_predicate)

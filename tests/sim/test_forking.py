@@ -1,0 +1,109 @@
+"""Tests for run forking (branching futures from one prefix)."""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.core.lemma1 import Lemma1Runner
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.forking import ForkError, assert_forkable, fork_kernel, fork_many
+from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.kernel import Environment
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+class TestForkability:
+    def test_idle_kernel_forkable(self):
+        system = build_system(1, [(0, "register", None)])
+        assert_forkable(system.kernel)
+
+    def test_inflight_operation_blocks_fork(self):
+        system = build_system(1, [(0, "register", None)])
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))  # now mid-operation
+        with pytest.raises(ForkError):
+            fork_kernel(system.kernel)
+
+    def test_fork_many_validates_count(self):
+        system = build_system(1, [(0, "register", None)])
+        with pytest.raises(ValueError):
+            fork_many(system.kernel, 0)
+
+
+class TestIndependence:
+    def test_forks_do_not_share_state(self):
+        system = build_system(
+            1, [(0, "register", 0)], scheduler=RandomScheduler(0)
+        )
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        fork = fork_kernel(system.kernel)
+        # Advance only the fork.
+        fork.clients[ClientId(0)].enqueue("write", 2)
+        fork.run(max_steps=1_000)
+        assert fork.object_map.object(ObjectId(0)).value == 2
+        assert system.object_map.object(ObjectId(0)).value == 1
+
+    def test_pending_covering_writes_fork(self):
+        """The Figure 2 situation: fork a prefix that carries covering
+        writes, then resolve them differently in each branch."""
+        k, n, f = 1, 3, 1
+
+        def factory(scheduler):
+            return WSRegisterEmulation(k=k, n=n, f=f, scheduler=scheduler)
+
+        runner = Lemma1Runner(factory, k=k, f=f)
+        runner.run()  # one write, f covering writes pending
+        kernel = runner.emulation.kernel
+        pending_before = len(kernel.pending)
+        assert pending_before >= f
+
+        branch_a, branch_b = fork_many(kernel, 2)
+        for branch in (branch_a, branch_b):
+            branch.environment = Environment()  # lift the adversary
+
+        # Branch A: the covering writes' servers crash; they never land.
+        for op in list(branch_a.pending.values()):
+            branch_a.crash_server(branch_a.object_map.server_of(op.object_id))
+        branch_a.run(max_steps=10_000)
+        assert len(branch_a.pending) == pending_before
+
+        # Branch B: the covering writes respond (and retrigger/settle).
+        branch_b.run(max_steps=10_000)
+        assert not branch_b.pending
+
+        # The original prefix is untouched either way.
+        assert len(kernel.pending) == pending_before
+
+    def test_branches_diverge_with_different_operations(self):
+        emu = WSRegisterEmulation(k=2, n=5, f=2, scheduler=RandomScheduler(1))
+        writer0 = emu.add_writer(0)
+        writer1 = emu.add_writer(1)
+        reader = emu.add_reader()
+        writer0.enqueue("write", "base")
+        assert emu.system.run_to_quiescence().satisfied
+
+        branch_a, branch_b = fork_many(emu.kernel, 2)
+        # Branch A: read immediately.
+        reader_a = branch_a.clients[reader.client_id]
+        reader_a.enqueue("read")
+        branch_a.run(max_steps=100_000)
+        # Branch B: another write, then read.
+        branch_b.clients[writer1.client_id].enqueue("write", "branched")
+        branch_b.run(max_steps=100_000)
+        branch_b.clients[reader.client_id].enqueue("read")
+        branch_b.run(max_steps=100_000)
+
+        def last_read(kernel):
+            history = [
+                listener
+                for listener in kernel.listeners
+                if hasattr(listener, "reads")
+            ][0]
+            return history.reads[-1].result
+
+        assert last_read(branch_a) == "base"
+        assert last_read(branch_b) == "branched"

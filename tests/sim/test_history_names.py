@@ -1,0 +1,52 @@
+"""Tests for histories with non-default operation names (max-registers)."""
+
+from repro.core.ft_maxreg import FTMaxRegister
+from repro.sim.history import History, HistoryOp
+from repro.sim.ids import ClientId
+from repro.sim.scheduling import RandomScheduler
+
+
+class TestCustomNames:
+    def test_ftmaxregister_history_classifies_ops(self):
+        register = FTMaxRegister(n=3, f=1, scheduler=RandomScheduler(0))
+        client = register.add_client()
+        client.enqueue("write_max", 5)
+        client.enqueue("read_max")
+        assert register.system.run_to_quiescence().satisfied
+        history = register.history
+        assert len(history.writes) == 1
+        assert len(history.reads) == 1
+        assert history.writes[0].name == "write_max"
+
+    def test_write_sequential_with_custom_names(self):
+        history = History(write_name="write_max", read_name="read_max")
+        history.ops[0] = HistoryOp(
+            seq=0,
+            client_id=ClientId(0),
+            name="write_max",
+            args=(1,),
+            invoke_time=1,
+            return_time=5,
+        )
+        history.ops[1] = HistoryOp(
+            seq=1,
+            client_id=ClientId(1),
+            name="write_max",
+            args=(2,),
+            invoke_time=3,
+            return_time=8,
+        )
+        assert not history.is_write_sequential()
+
+    def test_default_names_ignore_foreign_ops(self):
+        history = History()  # write/read
+        history.ops[0] = HistoryOp(
+            seq=0,
+            client_id=ClientId(0),
+            name="write_max",
+            args=(1,),
+            invoke_time=1,
+            return_time=2,
+        )
+        assert history.writes == []
+        assert history.reads == []

@@ -1,0 +1,188 @@
+"""Edge-case tests for kernel, client runtime, and listener plumbing."""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.sim.client import ClientProtocol, Context, TaskHandle
+from repro.sim.events import EventListener
+from repro.sim.ids import ClientId, ObjectId
+from repro.sim.kernel import Environment, RunResult
+from repro.sim.objects import OpKind
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+
+
+def _system(placements=None, seed=0):
+    placements = placements or [(0, "register", None)]
+    return build_system(1, placements, scheduler=RandomScheduler(seed))
+
+
+class TestRunResult:
+    def test_satisfied_only_for_until(self):
+        assert RunResult(5, "until").satisfied
+        for reason in ("quiescent", "blocked", "max_steps"):
+            assert not RunResult(5, reason).satisfied
+
+
+class TestRunUntil:
+    def test_until_true_immediately_takes_zero_steps(self):
+        system = _system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        result = system.kernel.run(until=lambda k: True)
+        assert result.steps == 0
+        assert result.satisfied
+
+    def test_until_checked_after_max_steps(self):
+        system = _system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        # The single permitted step completes nothing, but the predicate
+        # may become true exactly at the boundary.
+        result = system.kernel.run(
+            max_steps=1, until=lambda k: k.time >= 1
+        )
+        assert result.satisfied
+
+
+class TestTriggerValidation:
+    def test_trigger_unsupported_kind_raises(self):
+        system = _system([(0, "max-register", 0)])
+
+        class Bad(ClientProtocol):
+            def op_go(self, ctx):
+                ctx.trigger(ObjectId(0), OpKind.WRITE, 1)  # not supported
+                yield None
+
+        client = system.add_client(ClientId(0), Bad())
+        client.enqueue("go")
+        with pytest.raises(ValueError):
+            system.kernel.run(max_steps=5)
+
+
+class TestListeners:
+    class Counting(EventListener):
+        def __init__(self):
+            self.steps = 0
+            self.triggers = 0
+            self.responds = 0
+
+        def on_step(self, time):
+            self.steps += 1
+
+        def on_trigger(self, event):
+            self.triggers += 1
+
+        def on_respond(self, event):
+            self.responds += 1
+
+    def test_counts_match_run(self):
+        system = _system()
+        listener = self.Counting()
+        system.kernel.add_listener(listener)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        client.enqueue("read")
+        result = system.run_to_quiescence()
+        assert listener.steps == system.kernel.time
+        assert listener.triggers == 2
+        assert listener.responds == 2
+
+    def test_multiple_listeners_all_notified(self):
+        system = _system()
+        listeners = [self.Counting() for _ in range(3)]
+        for listener in listeners:
+            system.kernel.add_listener(listener)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        assert len({listener.steps for listener in listeners}) == 1
+
+
+class TestContextHelpers:
+    def test_all_done_and_count_done(self):
+        done = TaskHandle("a", done=True)
+        pending = TaskHandle("b", done=False)
+        assert Context.all_done([done])()
+        assert not Context.all_done([done, pending])()
+        assert Context.count_done([done, pending], 1)()
+        assert not Context.count_done([done, pending], 2)()
+
+    def test_task_handle_wait(self):
+        handle = TaskHandle("t")
+        predicate = handle.wait()
+        assert not predicate()
+        handle.done = True
+        assert predicate()
+
+    def test_context_exposes_time_and_id(self):
+        system = _system()
+
+        observed = {}
+
+        class Probe(ClientProtocol):
+            def op_go(self, ctx):
+                observed["client"] = ctx.client_id
+                observed["time"] = ctx.time
+                return None
+                yield  # pragma: no cover
+
+        client = system.add_client(ClientId(9), Probe())
+        client.enqueue("go")
+        system.run_to_quiescence()
+        assert observed["client"] == ClientId(9)
+        assert observed["time"] >= 0
+
+
+class TestCrashedClientResponses:
+    def test_response_to_crashed_client_not_delivered_to_protocol(self):
+        system = _system()
+        protocol = ToyProtocol()
+        client = system.add_client(ClientId(0), protocol)
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))  # trigger in flight
+        system.kernel.crash_client(ClientId(0))
+        (op_id,) = list(system.kernel.pending)
+        system.kernel.force_respond(op_id)
+        # The write took effect but the protocol handler never ran.
+        assert system.object_map.object(ObjectId(0)).value == 1
+        assert op_id not in protocol.results
+
+
+class TestEnvironmentDefaults:
+    def test_default_environment_allows_everything(self):
+        env = Environment()
+        assert env.allows(None, None)
+
+    def test_default_environment_does_not_unstall(self):
+        assert Environment().on_stall(None) is False
+
+
+class TestKernelStats:
+    def test_stats_snapshot(self):
+        system = _system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))
+        stats = system.kernel.stats()
+        assert stats["clients"] == 1
+        assert stats["objects"] == 1
+        assert stats["ops_triggered"] == 1
+        assert stats["ops_pending"] == 1
+        assert stats["covering_writes"] == 1
+        system.run_to_quiescence()
+        stats = system.kernel.stats()
+        assert stats["ops_pending"] == 0
+        assert stats["covering_writes"] == 0
+
+    def test_stats_track_crashes(self):
+        from repro.sim.ids import ServerId
+
+        system = _system()
+        system.add_client(ClientId(0), ToyProtocol())
+        system.kernel.crash_client(ClientId(0))
+        system.kernel.crash_server(ServerId(0))
+        stats = system.kernel.stats()
+        assert stats["crashed_clients"] == 1
+        assert stats["crashed_servers"] == 1

@@ -1,0 +1,140 @@
+"""Tests for base object types (respond-time semantics)."""
+
+import pytest
+
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.objects import (
+    AtomicRegister,
+    CASObject,
+    LowLevelOp,
+    MaxRegister,
+    OpKind,
+    make_object,
+)
+
+
+def _op(obj_id, kind, args, op_index=0):
+    return LowLevelOp(
+        op_id=OpId(op_index),
+        client_id=ClientId(0),
+        object_id=obj_id,
+        kind=kind,
+        args=args,
+        trigger_time=0,
+    )
+
+
+class TestAtomicRegister:
+    def test_write_then_read(self):
+        reg = AtomicRegister(ObjectId(0), initial_value=None)
+        assert reg.apply(_op(ObjectId(0), OpKind.WRITE, (5,))) == "ack"
+        assert reg.apply(_op(ObjectId(0), OpKind.READ, ())) == 5
+
+    def test_read_initial(self):
+        reg = AtomicRegister(ObjectId(0), initial_value="v0")
+        assert reg.apply(_op(ObjectId(0), OpKind.READ, ())) == "v0"
+
+    def test_last_write_wins(self):
+        reg = AtomicRegister(ObjectId(0))
+        reg.apply(_op(ObjectId(0), OpKind.WRITE, (1,)))
+        reg.apply(_op(ObjectId(0), OpKind.WRITE, (2,)))
+        assert reg.apply(_op(ObjectId(0), OpKind.READ, ())) == 2
+
+    def test_covering_write_erases_later_value(self):
+        """Assumption 1 in action: a write applies at respond time, so a
+        held-back ("covering") write erases a newer value."""
+        reg = AtomicRegister(ObjectId(0))
+        newer = _op(ObjectId(0), OpKind.WRITE, ("new",), 1)
+        covering = _op(ObjectId(0), OpKind.WRITE, ("old",), 0)
+        reg.apply(newer)  # the newer write responded first
+        reg.apply(covering)  # the covering write takes effect late
+        assert reg.apply(_op(ObjectId(0), OpKind.READ, (), 2)) == "old"
+
+    def test_rejects_unsupported_kind(self):
+        reg = AtomicRegister(ObjectId(0))
+        with pytest.raises(ValueError):
+            reg.apply(_op(ObjectId(0), OpKind.CAS, (0, 1)))
+
+
+class TestMaxRegister:
+    def test_values_only_grow(self):
+        mreg = MaxRegister(ObjectId(0), initial_value=0)
+        mreg.apply(_op(ObjectId(0), OpKind.WRITE_MAX, (5,)))
+        mreg.apply(_op(ObjectId(0), OpKind.WRITE_MAX, (3,)))
+        assert mreg.apply(_op(ObjectId(0), OpKind.READ_MAX, ())) == 5
+
+    def test_write_max_returns_ok(self):
+        mreg = MaxRegister(ObjectId(0), initial_value=0)
+        assert mreg.apply(_op(ObjectId(0), OpKind.WRITE_MAX, (1,))) == "ok"
+
+    def test_initial_value_read(self):
+        mreg = MaxRegister(ObjectId(0), initial_value=42)
+        assert mreg.apply(_op(ObjectId(0), OpKind.READ_MAX, ())) == 42
+
+    def test_rejects_plain_write(self):
+        mreg = MaxRegister(ObjectId(0), initial_value=0)
+        with pytest.raises(ValueError):
+            mreg.apply(_op(ObjectId(0), OpKind.WRITE, (1,)))
+
+
+class TestCASObject:
+    def test_successful_cas(self):
+        cas = CASObject(ObjectId(0), initial_value=0)
+        assert cas.apply(_op(ObjectId(0), OpKind.CAS, (0, 7))) == 0
+        assert cas.value == 7
+
+    def test_failed_cas_returns_old_value(self):
+        cas = CASObject(ObjectId(0), initial_value=3)
+        assert cas.apply(_op(ObjectId(0), OpKind.CAS, (0, 7))) == 3
+        assert cas.value == 3
+
+    def test_cas_v0_v0_acts_as_read(self):
+        cas = CASObject(ObjectId(0), initial_value=0)
+        cas.apply(_op(ObjectId(0), OpKind.CAS, (0, 9)))
+        assert cas.apply(_op(ObjectId(0), OpKind.CAS, (0, 0))) == 9
+        assert cas.value == 9
+
+
+class TestCrashBehaviour:
+    def test_apply_on_crashed_object_raises(self):
+        reg = AtomicRegister(ObjectId(0))
+        reg.crashed = True
+        with pytest.raises(RuntimeError):
+            reg.apply(_op(ObjectId(0), OpKind.WRITE, (1,)))
+
+    def test_reset_restores_initial(self):
+        reg = AtomicRegister(ObjectId(0), initial_value="v0")
+        reg.apply(_op(ObjectId(0), OpKind.WRITE, ("x",)))
+        reg.crashed = True
+        reg.reset()
+        assert reg.value == "v0"
+        assert not reg.crashed
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("register", AtomicRegister),
+            ("max-register", MaxRegister),
+            ("max_register", MaxRegister),
+            ("cas", CASObject),
+        ],
+    )
+    def test_known_types(self, name, cls):
+        obj = make_object(name, ObjectId(1), initial_value=0)
+        assert isinstance(obj, cls)
+        assert obj.object_id == ObjectId(1)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            make_object("queue", ObjectId(0))
+
+
+class TestOpKind:
+    def test_mutator_classification(self):
+        assert OpKind.WRITE.is_mutator
+        assert OpKind.WRITE_MAX.is_mutator
+        assert OpKind.CAS.is_mutator
+        assert not OpKind.READ.is_mutator
+        assert not OpKind.READ_MAX.is_mutator

@@ -1,0 +1,86 @@
+"""Tests for scheduler policies (determinism, fairness)."""
+
+from tests.conftest import ToyProtocol
+
+from repro.sim.ids import ClientId
+from repro.sim.kernel import Action, ActionKind
+from repro.sim.scheduling import (
+    ClientPriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.system import build_system
+
+
+def _client_action(index):
+    return Action(ActionKind.CLIENT, client_id=ClientId(index))
+
+
+class TestRandomScheduler:
+    def test_deterministic_given_seed(self):
+        actions = [_client_action(i) for i in range(5)]
+        first = [RandomScheduler(7).choose(actions, None) for _ in range(20)]
+        second = [RandomScheduler(7).choose(actions, None) for _ in range(20)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        actions = [_client_action(i) for i in range(10)]
+        a = RandomScheduler(1)
+        b = RandomScheduler(2)
+        picks_a = [a.choose(actions, None) for _ in range(30)]
+        picks_b = [b.choose(actions, None) for _ in range(30)]
+        assert picks_a != picks_b
+
+    def test_full_run_reproducible(self):
+        def run(seed):
+            system = build_system(
+                1, [(0, "register", None)], scheduler=RandomScheduler(seed)
+            )
+            client = system.add_client(ClientId(0), ToyProtocol())
+            for i in range(5):
+                client.enqueue("write", i)
+                client.enqueue("read")
+            system.run_to_quiescence()
+            return [
+                (op.name, op.invoke_time, op.return_time, op.result)
+                for op in system.history.all_ops()
+            ]
+
+        assert run(3) == run(3)
+
+
+class TestRoundRobinScheduler:
+    def test_no_starvation(self):
+        """Every continuously enabled action is picked within a bounded
+        number of choices."""
+        scheduler = RoundRobinScheduler()
+        actions = [_client_action(i) for i in range(4)]
+        picked = [scheduler.choose(actions, None) for _ in range(8)]
+        for action in actions:
+            assert picked.count(action) == 2
+
+    def test_new_actions_integrated(self):
+        scheduler = RoundRobinScheduler()
+        actions = [_client_action(0)]
+        scheduler.choose(actions, None)
+        actions.append(_client_action(1))
+        # The fresh action is served before the stale one repeats forever.
+        picks = [scheduler.choose(actions, None) for _ in range(2)]
+        assert _client_action(1) in picks
+
+
+class TestClientPriorityScheduler:
+    def test_prefers_client_steps(self):
+        scheduler = ClientPriorityScheduler()
+        from repro.sim.ids import OpId
+
+        respond = Action(ActionKind.RESPOND, op_id=OpId(0))
+        client = _client_action(0)
+        assert scheduler.choose([respond, client], None) == client
+
+    def test_falls_back_to_responds(self):
+        scheduler = ClientPriorityScheduler()
+        from repro.sim.ids import OpId
+
+        respond = Action(ActionKind.RESPOND, op_id=OpId(0))
+        assert scheduler.choose([respond], None) == respond

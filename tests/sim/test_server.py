@@ -1,0 +1,106 @@
+"""Tests for servers and the delta mapping."""
+
+import pytest
+
+from repro.sim.ids import ObjectId, ServerId
+from repro.sim.objects import AtomicRegister
+from repro.sim.server import ObjectMap
+
+
+def _build(n_servers=3, objects_per_server=2):
+    omap = ObjectMap()
+    for s in range(n_servers):
+        omap.add_server(ServerId(s))
+    index = 0
+    for s in range(n_servers):
+        for _ in range(objects_per_server):
+            omap.add_object(AtomicRegister(ObjectId(index)), ServerId(s))
+            index += 1
+    return omap
+
+
+class TestConstruction:
+    def test_counts(self):
+        omap = _build(3, 2)
+        assert omap.n_servers == 3
+        assert omap.n_objects == 6
+
+    def test_duplicate_server_rejected(self):
+        omap = ObjectMap()
+        omap.add_server(ServerId(0))
+        with pytest.raises(ValueError):
+            omap.add_server(ServerId(0))
+
+    def test_duplicate_object_rejected(self):
+        omap = ObjectMap()
+        omap.add_server(ServerId(0))
+        omap.add_object(AtomicRegister(ObjectId(0)), ServerId(0))
+        with pytest.raises(ValueError):
+            omap.add_object(AtomicRegister(ObjectId(0)), ServerId(0))
+
+    def test_unknown_server_rejected(self):
+        omap = ObjectMap()
+        with pytest.raises(ValueError):
+            omap.add_object(AtomicRegister(ObjectId(0)), ServerId(5))
+
+
+class TestDeltaNotation:
+    def test_server_of(self):
+        omap = _build()
+        assert omap.server_of(ObjectId(0)) == ServerId(0)
+        assert omap.server_of(ObjectId(5)) == ServerId(2)
+
+    def test_image(self):
+        omap = _build()
+        assert omap.image([ObjectId(0), ObjectId(1)]) == {ServerId(0)}
+        assert omap.image([ObjectId(0), ObjectId(2)]) == {
+            ServerId(0),
+            ServerId(1),
+        }
+
+    def test_preimage(self):
+        omap = _build()
+        assert omap.preimage([ServerId(1)]) == {ObjectId(2), ObjectId(3)}
+
+    def test_image_preimage_inequalities(self):
+        """|delta(B)| <= |B| and |delta^-1(S)| >= |S| (Appendix A.4)."""
+        omap = _build()
+        objects = [ObjectId(0), ObjectId(1), ObjectId(2)]
+        assert len(omap.image(objects)) <= len(objects)
+        servers = [ServerId(0), ServerId(2)]
+        assert len(omap.preimage(servers)) >= len(servers)
+
+    def test_objects_on_preserves_order(self):
+        omap = _build()
+        assert omap.objects_on(ServerId(0)) == [ObjectId(0), ObjectId(1)]
+
+
+class TestCrashes:
+    def test_crash_cascades_to_objects(self):
+        omap = _build()
+        crashed = omap.crash_server(ServerId(1))
+        assert set(crashed) == {ObjectId(2), ObjectId(3)}
+        assert omap.object(ObjectId(2)).crashed
+        assert omap.object(ObjectId(3)).crashed
+        assert not omap.object(ObjectId(0)).crashed
+
+    def test_crash_idempotent(self):
+        omap = _build()
+        omap.crash_server(ServerId(0))
+        assert omap.crash_server(ServerId(0)) == []
+
+    def test_correct_and_crashed_partition(self):
+        omap = _build()
+        omap.crash_server(ServerId(2))
+        assert omap.crashed_servers == {ServerId(2)}
+        assert omap.correct_servers == {ServerId(0), ServerId(1)}
+
+
+class TestStorage:
+    def test_storage_profile(self):
+        omap = _build(2, 3)
+        assert omap.storage_profile() == {ServerId(0): 3, ServerId(1): 3}
+
+    def test_server_storage(self):
+        omap = _build()
+        assert omap.server(ServerId(0)).storage == 2

@@ -1,0 +1,57 @@
+"""Tests for the system builder."""
+
+import pytest
+
+from repro.sim.ids import ObjectId, ServerId
+from repro.sim.objects import AtomicRegister, CASObject, MaxRegister
+from repro.sim.system import build_system
+
+
+class TestBuildSystem:
+    def test_placements_respected(self):
+        system = build_system(
+            3,
+            [
+                (0, "register", "a"),
+                (1, "max-register", 0),
+                (2, "cas", 0),
+                (0, "register", "b"),
+            ],
+        )
+        omap = system.object_map
+        assert isinstance(omap.object(ObjectId(0)), AtomicRegister)
+        assert isinstance(omap.object(ObjectId(1)), MaxRegister)
+        assert isinstance(omap.object(ObjectId(2)), CASObject)
+        assert omap.server_of(ObjectId(3)) == ServerId(0)
+        assert omap.object(ObjectId(0)).value == "a"
+
+    def test_counts(self):
+        system = build_system(2, [(0, "register", None)] * 4)
+        assert system.n_servers == 2
+        assert system.n_objects == 4
+
+    def test_out_of_range_server_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(1, [(5, "register", None)])
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(0, [])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(1, [(0, "stack", None)])
+
+    def test_history_attached(self):
+        system = build_system(1, [(0, "register", None)])
+        assert system.history in system.kernel.listeners
+
+    def test_custom_history_respected(self):
+        """Regression: an empty History is falsy (len == 0); the builder
+        must not silently replace a caller-provided recorder."""
+        from repro.sim.history import History
+
+        custom = History(write_name="write_max", read_name="read_max")
+        system = build_system(1, [(0, "register", None)], history=custom)
+        assert system.history is custom
+        assert custom in system.kernel.listeners

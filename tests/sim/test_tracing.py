@@ -1,0 +1,103 @@
+"""Tests for run tracing and timeline rendering."""
+
+from tests.conftest import ToyProtocol
+
+from repro.sim.ids import ClientId, ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+from repro.sim.tracing import (
+    TraceRecorder,
+    format_entry,
+    render_event_log,
+    render_timeline,
+)
+
+
+def _traced_system(seed=0):
+    system = build_system(
+        1, [(0, "register", None)], scheduler=RandomScheduler(seed)
+    )
+    recorder = TraceRecorder()
+    system.kernel.add_listener(recorder)
+    return system, recorder
+
+
+class TestTraceRecorder:
+    def test_records_all_event_kinds(self):
+        system, recorder = _traced_system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        system.kernel.crash_server(ServerId(0))
+        kinds = {entry.kind for entry in recorder.entries}
+        assert kinds == {"invoke", "trigger", "respond", "return", "crash"}
+
+    def test_chronological(self):
+        system, recorder = _traced_system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        client.enqueue("read")
+        system.run_to_quiescence()
+        times = [entry.time for entry in recorder.entries]
+        assert times == sorted(times)
+
+    def test_horizon(self):
+        system, recorder = _traced_system()
+        assert recorder.horizon == 0
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        assert recorder.horizon == system.kernel.time
+
+
+class TestRendering:
+    def test_event_log_contains_all_lines(self):
+        system, recorder = _traced_system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 7)
+        system.run_to_quiescence()
+        log = render_event_log(recorder)
+        assert "invoke write" in log
+        assert "trigger write(7,)" in log
+        assert "respond write" in log
+        assert "return write -> 'ack'" in log
+
+    def test_event_log_filter_and_limit(self):
+        system, recorder = _traced_system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 7)
+        client.enqueue("read")
+        system.run_to_quiescence()
+        only_invokes = render_event_log(recorder, kinds={"invoke"})
+        assert len(only_invokes.splitlines()) == 2
+        limited = render_event_log(recorder, limit=3)
+        assert len(limited.splitlines()) == 3
+
+    def test_timeline_lanes(self):
+        system, recorder = _traced_system()
+        a = system.add_client(ClientId(0), ToyProtocol())
+        b = system.add_client(ClientId(1), ToyProtocol())
+        a.enqueue("write", 1)
+        b.enqueue("read")
+        system.run_to_quiescence()
+        timeline = render_timeline(recorder, width=40)
+        assert "c0 |" in timeline
+        assert "c1 |" in timeline
+        assert "[" in timeline and "]" in timeline
+
+    def test_timeline_marks_pending_and_crashes(self):
+        system, recorder = _traced_system()
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.kernel.force_client_step(ClientId(0))  # invoke + trigger
+        system.kernel.crash_server(ServerId(0))
+        system.kernel.run(max_steps=50)
+        timeline = render_timeline(recorder, width=40)
+        assert ">" in timeline  # the write never returns: open interval
+        assert "X" in timeline  # the crash lane
+
+    def test_format_entry_crash(self):
+        system, recorder = _traced_system()
+        system.kernel.crash_server(ServerId(0))
+        line = format_entry(recorder.entries[-1])
+        assert "CRASH" in line and "s0" in line

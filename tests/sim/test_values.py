@@ -1,0 +1,52 @@
+"""Tests for timestamped values."""
+
+import pytest
+
+from repro.sim.values import TSVal, bottom_tsval, max_tsval
+
+
+class TestOrdering:
+    def test_timestamp_dominates(self):
+        assert TSVal(1, 9) < TSVal(2, 0)
+        assert TSVal(3, 0) > TSVal(2, 9)
+
+    def test_writer_id_breaks_ties(self):
+        assert TSVal(1, 0) < TSVal(1, 1)
+        assert TSVal(1, 2) >= TSVal(1, 2)
+
+    def test_payload_ignored_in_comparison(self):
+        assert TSVal(1, 0, "a") == TSVal(1, 0, "b")
+        assert hash(TSVal(1, 0, "a")) == hash(TSVal(1, 0, "b"))
+
+    def test_total_order_over_sample(self):
+        values = [TSVal(2, 1), TSVal(1, 5), TSVal(2, 0), TSVal(0, 9)]
+        ordered = sorted(values)
+        keys = [v.key() for v in ordered]
+        assert keys == sorted(keys)
+
+
+class TestBottom:
+    def test_bottom_is_minimal(self):
+        assert bottom_tsval() < TSVal(0, 0)
+        assert bottom_tsval() < TSVal(1, -5)
+
+    def test_bottom_carries_initial_value(self):
+        assert bottom_tsval("init").val == "init"
+        assert bottom_tsval().ts == 0
+
+
+class TestMaxTSVal:
+    def test_picks_largest(self):
+        values = [TSVal(1, 0, "a"), TSVal(3, 0, "c"), TSVal(2, 0, "b")]
+        assert max_tsval(values).val == "c"
+
+    def test_single_element(self):
+        assert max_tsval([TSVal(5, 1, "x")]).val == "x"
+
+    def test_tie_break_by_wid(self):
+        values = [TSVal(1, 0, "lo"), TSVal(1, 3, "hi")]
+        assert max_tsval(values).val == "hi"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_tsval([])

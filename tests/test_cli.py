@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["bounds"])
+        assert (args.k, args.n, args.f) == (3, 7, 2)
+
+
+class TestCommands:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "-k", "4", "-n", "7", "-f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max-register" in out and "register" in out
+        assert "14" in out  # the register bound at these parameters
+
+    def test_layout(self, capsys):
+        assert main(["layout", "-k", "5", "-n", "6", "-f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "total=25" in out
+        assert "s5:" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-k", "2", "-f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lower" in out and "upper" in out
+
+    def test_lemma1(self, capsys):
+        assert main(["lemma1", "-k", "2", "-n", "5", "-f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all Lemma 1 claims hold" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "hello, fault tolerance" in out
+
+    def test_ablate(self, capsys):
+        assert main(["ablate"]) == 0
+        out = capsys.readouterr().out
+        assert "WS-Safety VIOLATED" in out
+        assert "SAFE" in out
+
+    def test_theorem5(self, capsys):
+        assert main(["theorem5", "-f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "split-brain" in out
+        assert "3 servers" in out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "TH7" in out
+
+    def test_experiment_run(self, capsys):
+        assert main(["experiment", "TH2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "NOPE"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_json_export(self, capsys, tmp_path):
+        target = tmp_path / "th2.json"
+        assert main(["experiment", "TH2", "--json", str(target)]) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload[0]["experiment_id"] == "TH2"
+        assert "wrote 1 experiment" in capsys.readouterr().out
+
+    def test_invalid_parameters_reported(self, capsys):
+        assert main(["bounds", "-k", "1", "-n", "2", "-f", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err

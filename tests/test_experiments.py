@@ -1,0 +1,116 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+ALL_IDS = ["ABL", "B1", "F1", "L1", "OQ", "SEP", "T1", "T1-sweep", "TH1",
+           "TH2", "TH5", "TH6", "TH7", "TH8"]
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert list_experiments() == ALL_IDS
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            run_experiment("T99")
+
+    def test_render_includes_title_and_rows(self):
+        result = run_experiment("TH2", k_values=(1, 2))
+        text = result.render()
+        assert "Theorem 2" in text
+        assert text.count("\n") >= 3
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        result = run_experiment("TH2", k_values=(1, 2))
+        payload = json.dumps(result.to_dict())
+        decoded = json.loads(payload)
+        assert decoded["experiment_id"] == "TH2"
+        assert decoded["rows"]
+
+    def test_to_dict_stringifies_odd_cells(self):
+        result = run_experiment("TH6", k=2, f=1)
+        import json
+
+        json.dumps(result.to_dict())  # ServerId cells become strings
+
+
+class TestSmallInstances:
+    """Every experiment runs end-to-end at reduced size."""
+
+    def test_t1(self):
+        result = run_experiment("T1", k=2, n=5, f=2)
+        assert [row[0] for row in result.rows] == [
+            "max-register",
+            "cas",
+            "register",
+        ]
+        for row in result.rows:
+            assert row[1] <= row[2] == row[3]
+
+    def test_t1_sweep(self):
+        result = run_experiment("T1-sweep", n=5, f=2, k_max=3)
+        assert len(result.rows) == 3
+
+    def test_f1(self):
+        result = run_experiment("F1", k=2, n=5, f=2)
+        assert sum(row[1] for row in result.rows) == 10
+
+    def test_l1(self):
+        result = run_experiment("L1", k=2, n=5, f=2)
+        assert [row[1] for row in result.rows] == [2, 4]
+
+    def test_th1(self):
+        result = run_experiment("TH1", k=2, f=1)
+        gaps = [row[4] for row in result.rows]
+        assert all(g >= 0 for g in gaps)
+
+    def test_th2(self):
+        result = run_experiment("TH2", k_values=(1, 3))
+        assert all(row[1] == row[2] for row in result.rows)
+
+    def test_th5(self):
+        result = run_experiment("TH5", f_values=(1,))
+        assert result.rows[0][3] == "WS-Safety VIOLATED"
+
+    def test_th6(self):
+        result = run_experiment("TH6", k=2, f=1)
+        non_f = [row for row in result.rows if row[2] == "no"]
+        assert all(row[3] >= 2 for row in non_f)
+
+    def test_th7(self):
+        result = run_experiment("TH7", k=2, f=1, capacities=(1, 4))
+        assert all(row[2] >= row[1] for row in result.rows)
+
+    def test_th8(self):
+        result = run_experiment("TH8", k=2, n=5, f=2)
+        assert all(row[1] == 1 for row in result.rows)
+
+    def test_b1(self):
+        result = run_experiment("B1", update_counts=(1, 2))
+        assert result.rows[0][1] <= 2
+
+    def test_sep(self):
+        result = run_experiment("SEP", k=3, f=1)
+        register_cov = [row[1] for row in result.rows]
+        maxreg_cov = [row[2] for row in result.rows]
+        assert register_cov == [1, 2, 3]
+        assert all(c <= 3 for c in maxreg_cov)  # saturates at n = 3
+
+    def test_oq(self):
+        result = run_experiment("OQ", k=2, n=5, f=2, samples=3)
+        (row,) = result.rows
+        assert row == [3, 0, 0]
+
+    def test_abl(self):
+        result = run_experiment("ABL")
+        outcomes = {row[0]: row[1] for row in result.rows}
+        assert outcomes["Algorithm 2 (intact)"] == "SAFE"
+        assert outcomes["no cover avoidance"] == "WS-Safety VIOLATED"

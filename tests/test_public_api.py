@@ -1,0 +1,67 @@
+"""The public API surface stays importable and complete."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    EXPECTED = {
+        "ABDEmulation",
+        "AdversaryAdi",
+        "CASABDEmulation",
+        "CollectMaxRegister",
+        "ConfigService",
+        "CoveringTracker",
+        "EpochService",
+        "FTMaxRegister",
+        "InstallRaced",
+        "KVConfig",
+        "Lemma1Runner",
+        "MultiRegisterDeployment",
+        "RegisterLayout",
+        "ReplicatedKVStore",
+        "ReplicatedMaxRegisterEmulation",
+        "SingleCASMaxRegister",
+        "VerificationReport",
+        "WSRegisterEmulation",
+        "bounds",
+        "check_ws_regular",
+        "check_ws_safe",
+        "is_linearizable",
+        "is_register_history_atomic",
+        "run_workload",
+        "verify_run",
+        "write_sequential_workload",
+    }
+
+    def test_all_matches_expected(self):
+        assert set(repro.__all__) == self.EXPECTED
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.apps
+        import repro.consistency
+        import repro.core
+        import repro.sim
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.apps,
+            repro.consistency,
+            repro.core,
+            repro.sim,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (
+                    f"{module.__name__}.{name} missing"
+                )

@@ -1,0 +1,71 @@
+"""Tests for workload generators."""
+
+from repro.workloads.generators import (
+    Invocation,
+    concurrent_workload,
+    read_heavy_workload,
+    write_sequential_workload,
+)
+
+
+class TestWriteSequentialWorkload:
+    def test_counts(self):
+        workload = write_sequential_workload(
+            k=3, writes_per_writer=2, reads_between=1, n_readers=2
+        )
+        assert workload.n_writes == 6
+        assert workload.n_reads == 12
+
+    def test_is_write_sequential(self):
+        workload = write_sequential_workload(k=3)
+        assert workload.is_write_sequential
+
+    def test_writer_indices(self):
+        workload = write_sequential_workload(k=4)
+        assert workload.writer_indices == [0, 1, 2, 3]
+
+    def test_unique_values(self):
+        workload = write_sequential_workload(k=3, writes_per_writer=3)
+        values = [
+            inv.args[0]
+            for rnd in workload.rounds
+            for inv in rnd
+            if inv.is_write
+        ]
+        assert len(set(values)) == len(values)
+
+
+class TestConcurrentWorkload:
+    def test_not_write_sequential(self):
+        workload = concurrent_workload(k=3, n_rounds=2)
+        assert not workload.is_write_sequential
+
+    def test_deterministic_given_seed(self):
+        a = concurrent_workload(k=2, n_rounds=3, seed=5)
+        b = concurrent_workload(k=2, n_rounds=3, seed=5)
+        assert a.rounds == b.rounds
+
+    def test_different_seeds_shuffle_differently(self):
+        a = concurrent_workload(k=4, n_rounds=4, seed=1)
+        b = concurrent_workload(k=4, n_rounds=4, seed=2)
+        assert a.rounds != b.rounds
+
+    def test_reader_indices(self):
+        workload = concurrent_workload(k=2, n_readers=3)
+        assert workload.reader_indices == [0, 1, 2]
+
+
+class TestReadHeavyWorkload:
+    def test_shape(self):
+        workload = read_heavy_workload(
+            k=2, n_writes=3, reads_per_write=2, n_readers=2
+        )
+        assert workload.n_writes == 3
+        assert workload.n_reads == 12
+        assert workload.is_write_sequential
+
+
+class TestInvocation:
+    def test_is_write(self):
+        assert Invocation(("writer", 0), "write", ("v",)).is_write
+        assert not Invocation(("reader", 0), "read").is_write

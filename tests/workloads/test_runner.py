@@ -1,0 +1,108 @@
+"""Tests for the workload runner across all emulations."""
+
+import pytest
+
+from repro.consistency.register_atomicity import is_register_history_atomic
+from repro.consistency.ws import check_ws_regular
+from repro.core.abd import ABDEmulation
+from repro.core.cas_maxreg import CASABDEmulation
+from repro.core.collect_maxreg import ReplicatedMaxRegisterEmulation
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+from repro.workloads.generators import (
+    concurrent_workload,
+    write_sequential_workload,
+)
+from repro.workloads.runner import run_workload
+
+
+class TestAgainstAlgorithm2:
+    def test_write_sequential_completes(self):
+        emu = WSRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(0)
+        )
+        workload = write_sequential_workload(k=2, writes_per_writer=2)
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+        assert check_ws_regular(report.history, cross_check=True) == []
+
+    def test_resource_consumption_reported(self):
+        emu = WSRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(1)
+        )
+        workload = write_sequential_workload(k=2, writes_per_writer=1)
+        report = run_workload(emu, workload)
+        # collect() touches every register, so consumption = all of them.
+        assert report.resource_consumption == emu.layout.total_registers
+
+    def test_contention_one_in_sequential_runs(self):
+        emu = WSRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(2)
+        )
+        workload = write_sequential_workload(
+            k=2, writes_per_writer=1, n_readers=1
+        )
+        report = run_workload(emu, workload)
+        assert report.contention.run_point_contention == 1
+
+    def test_concurrent_workload_wait_free(self):
+        emu = WSRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(3)
+        )
+        workload = concurrent_workload(k=2, n_rounds=2, n_readers=1)
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+        assert report.contention.run_point_contention >= 2
+
+
+class TestAgainstABDVariants:
+    @pytest.mark.parametrize(
+        "emulation_cls", [ABDEmulation, CASABDEmulation]
+    )
+    def test_sequential_atomicity(self, emulation_cls):
+        emu = emulation_cls(n=5, f=2, scheduler=RandomScheduler(4))
+        workload = write_sequential_workload(
+            k=2, writes_per_writer=1, n_readers=1
+        )
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+        assert is_register_history_atomic(report.history)
+
+    def test_abd_concurrent_atomicity(self):
+        emu = ABDEmulation(n=5, f=2, scheduler=RandomScheduler(5))
+        workload = concurrent_workload(k=3, n_rounds=2, n_readers=2)
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+        assert is_register_history_atomic(report.history)
+
+
+class TestAgainstReplicated:
+    def test_ws_regular(self):
+        emu = ReplicatedMaxRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(6)
+        )
+        workload = write_sequential_workload(
+            k=2, writes_per_writer=2, n_readers=1
+        )
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+        assert check_ws_regular(report.history, cross_check=True) == []
+
+
+class TestMetrics:
+    def test_steps_per_op_recorded(self):
+        emu = WSRegisterEmulation(
+            k=1, n=3, f=1, scheduler=RandomScheduler(7)
+        )
+        workload = write_sequential_workload(k=1, writes_per_writer=2)
+        report = run_workload(emu, workload)
+        assert report.steps.mean_triggers() > 0
+        assert report.steps.mean_duration() > 0
+
+    def test_max_covered_bounded_by_layout(self):
+        emu = WSRegisterEmulation(
+            k=2, n=5, f=2, scheduler=RandomScheduler(8)
+        )
+        workload = write_sequential_workload(k=2, writes_per_writer=2)
+        report = run_workload(emu, workload)
+        assert 0 <= report.max_covered <= emu.layout.total_registers

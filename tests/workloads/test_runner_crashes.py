@@ -1,0 +1,41 @@
+"""Tests for crash plans threaded through the workload runner."""
+
+from repro.consistency.ws import check_ws_regular
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.workloads.generators import write_sequential_workload
+from repro.workloads.runner import run_workload
+
+
+class TestRunnerWithCrashPlan:
+    def test_crashes_fire_during_workload(self):
+        emu = WSRegisterEmulation(k=2, n=5, f=2, scheduler=RandomScheduler(3))
+        plan = CrashPlan()
+        plan.crash_server_at(50, ServerId(0))
+        plan.crash_server_at(120, ServerId(4))
+        workload = write_sequential_workload(
+            k=2, writes_per_writer=2, reads_between=1
+        )
+        report = run_workload(emu, workload, crash_plan=plan)
+        assert report.completed_rounds == len(workload.rounds)
+        assert emu.object_map.crashed_servers == {ServerId(0), ServerId(4)}
+        assert check_ws_regular(report.history, cross_check=True) == []
+
+    def test_no_plan_still_works(self):
+        emu = WSRegisterEmulation(k=1, n=3, f=1, scheduler=RandomScheduler(4))
+        workload = write_sequential_workload(k=1, writes_per_writer=1)
+        report = run_workload(emu, workload)
+        assert report.completed_rounds == len(workload.rounds)
+
+    def test_predicate_crash_with_runner(self):
+        emu = WSRegisterEmulation(k=1, n=3, f=1, scheduler=RandomScheduler(5))
+        plan = CrashPlan()
+        plan.crash_server_when(lambda k: k.time > 30, ServerId(1))
+        workload = write_sequential_workload(
+            k=1, writes_per_writer=3, reads_between=1
+        )
+        report = run_workload(emu, workload, crash_plan=plan)
+        assert report.completed_rounds == len(workload.rounds)
+        assert ServerId(1) in emu.object_map.crashed_servers
