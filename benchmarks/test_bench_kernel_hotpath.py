@@ -1,0 +1,119 @@
+"""Experiment K — kernel hot-path throughput (steps/sec).
+
+Drives a saturated WSRegister workload (every writer and reader always
+has a next operation queued) through ``Kernel.run`` in both scheduling
+modes — ``incremental=True`` (the live enabled-action bookkeeping) and
+``incremental=False`` (the from-scratch ``enabled_actions()`` oracle,
+i.e. the pre-optimization kernel) — across small/medium/large Figure 1
+configurations, and records steps/sec plus the speedup ratio to
+``benchmarks/BENCH_kernel.json`` so later PRs have a perf trajectory to
+regress against.
+
+``BENCH_KERNEL_SMOKE=1`` shrinks the run (CI smoke mode): the artifact is
+still produced, but only a loose sanity ratio is asserted — wall-clock
+numbers from shared CI runners are indicative, not normative.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.scheduling import RandomScheduler
+
+ARTIFACT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_kernel.json")
+
+#: (label, (k, n, f)) — medium is the paper's Figure 1 layout.
+CONFIGS = [
+    ("small", (2, 3, 1)),
+    ("medium", (5, 6, 2)),
+    ("large", (8, 10, 3)),
+]
+
+SMOKE = os.environ.get("BENCH_KERNEL_SMOKE", "") not in ("", "0")
+STEPS = 6_000 if SMOKE else 20_000
+#: per-mode repetitions; the best run counts (standard microbenchmark
+#: practice — the minimum wall-clock is the least-perturbed sample).
+REPEATS = 2 if SMOKE else 4
+#: minimum medium-config speedup: the acceptance bar in full mode, a
+#: loose noise-tolerant sanity check in smoke mode.
+MIN_MEDIUM_SPEEDUP = 1.3 if SMOKE else 3.0
+
+
+def _best_steps_per_sec(k, n, f, incremental):
+    return max(
+        _steps_per_sec(k, n, f, incremental) for _ in range(REPEATS)
+    )
+
+
+def _steps_per_sec(k, n, f, incremental, seed=7, readers=3):
+    """Throughput of a saturated run: ops are re-enqueued as they finish."""
+    emu = WSRegisterEmulation(k, n, f, scheduler=RandomScheduler(seed))
+    writer_handles = [emu.add_writer(index) for index in range(k)]
+    reader_handles = [emu.add_reader() for _ in range(readers)]
+    value = 0
+
+    def refill(kernel):
+        nonlocal value
+        for writer in writer_handles:
+            if writer.idle and not writer.program:
+                writer.enqueue("write", value)
+                value += 1
+        for reader in reader_handles:
+            if reader.idle and not reader.program:
+                reader.enqueue("read")
+        return False  # never satisfied: run for exactly STEPS steps
+
+    start = time.perf_counter()
+    result = emu.kernel.run(
+        max_steps=STEPS, until=refill, incremental=incremental
+    )
+    elapsed = time.perf_counter() - start
+    assert result.steps == STEPS
+    return result.steps / elapsed
+
+
+def test_kernel_hotpath_throughput():
+    rows = []
+    artifact = {
+        "benchmark": "kernel_hotpath",
+        "mode": "smoke" if SMOKE else "full",
+        "steps_per_config": STEPS,
+        "configs": {},
+    }
+    for label, (k, n, f) in CONFIGS:
+        legacy = _best_steps_per_sec(k, n, f, incremental=False)
+        fast = _best_steps_per_sec(k, n, f, incremental=True)
+        speedup = fast / legacy
+        artifact["configs"][label] = {
+            "k": k,
+            "n": n,
+            "f": f,
+            "legacy_steps_per_sec": round(legacy),
+            "incremental_steps_per_sec": round(fast),
+            "speedup": round(speedup, 2),
+        }
+        rows.append(
+            [label, k, n, f, f"{legacy:,.0f}", f"{fast:,.0f}", f"{speedup:.2f}x"]
+        )
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    emit(
+        render_table(
+            ["config", "k", "n", "f", "legacy st/s", "incremental st/s", "speedup"],
+            rows,
+            title=f"Kernel hot path — steps/sec ({artifact['mode']} mode)",
+        )
+    )
+    medium = artifact["configs"]["medium"]
+    assert medium["speedup"] >= MIN_MEDIUM_SPEEDUP, (
+        f"medium-config speedup {medium['speedup']}x below the"
+        f" {MIN_MEDIUM_SPEEDUP}x bar"
+    )
+    # The incremental path must never be a pessimization anywhere.
+    for label, numbers in artifact["configs"].items():
+        assert numbers["speedup"] >= 1.0, f"{label} config got slower"

@@ -41,6 +41,35 @@ class AdversaryAdi(Environment):
         self.tracker = tracker
         #: number of vetoes issued (observability/testing)
         self.vetoes = 0
+        # Memoized decision inputs (C(t) and Q_i(t) u G_i(t)), valid for
+        # one tracker version; recomputing them per consulted op is the
+        # dominant cost of the adversary in long constructed runs.
+        self._memo_version: "Optional[int]" = None
+        self._memo = None
+
+    def veto_epoch(self, kernel: Kernel):
+        """Verdicts only change when the tracker's state does.
+
+        ``BlockedWrites_i(t)`` is a pure function of the tracker (which
+        versions itself on every state change), so the kernel may cache
+        per-op verdicts between tracker changes instead of re-consulting
+        the adversary for ops it already blocked.
+        """
+        return getattr(self.tracker, "version", None)
+
+    def _decision_state(self):
+        version = getattr(self.tracker, "version", None)
+        if self._memo is None or version is None or version != self._memo_version:
+            completed = self.tracker.completed()
+            if self.tracker.phase is not None:
+                controlled: "Set[ServerId]" = (
+                    self.tracker.qi() | self.tracker.gi()
+                )
+            else:
+                controlled = set()
+            self._memo = (completed, controlled)
+            self._memo_version = version
+        return self._memo
 
     def blocked(self, op: LowLevelOp) -> bool:
         """Is ``op`` in ``BlockedWrites_i(t)`` right now?
@@ -55,14 +84,14 @@ class AdversaryAdi(Environment):
         """
         if not op.is_mutator or not op.pending:
             return False
+        completed, controlled = self._decision_state()
         # Condition 1: triggered by a client that has completed a
         # high-level write.
-        if op.client_id in self.tracker.completed():
+        if op.client_id in completed:
             return True
         if self.tracker.phase is None:
             return False
         # Condition 2: triggered on a register hosted by Q_i(t) u G_i(t).
-        controlled: "Set[ServerId]" = self.tracker.qi() | self.tracker.gi()
         if self.tracker.object_map.server_of(op.object_id) in controlled:
             return True
         return False

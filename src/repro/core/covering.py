@@ -71,6 +71,10 @@ class CoveringTracker(EventListener):
         self.phase: "Optional[PhaseState]" = None
         self.write_name = "write"
         self._lemma2_prev: "Optional[dict]" = None
+        #: monotone state-version counter, bumped on every change that can
+        #: affect the Definition 1 sets; consumers (the adversary's veto
+        #: cache) use it to memoize derived state between changes.
+        self.version = 0
 
     # -- global quantities -------------------------------------------------
 
@@ -100,6 +104,7 @@ class CoveringTracker(EventListener):
             completed_prev=frozenset(self.completed_writers),
         )
         self._lemma2_prev = None
+        self.version += 1
         self._update_qi()
         return self.phase
 
@@ -107,6 +112,7 @@ class CoveringTracker(EventListener):
         if self.phase is None:
             raise RuntimeError("no active phase")
         finished, self.phase = self.phase, None
+        self.version += 1
         return finished
 
     # -- derived phase sets (Definition 1) -----------------------------------
@@ -157,6 +163,7 @@ class CoveringTracker(EventListener):
         op = event.op
         if not op.is_mutator:
             return
+        self.version += 1
         self.pending_ops[op.op_id.value] = op
         self._pending_writes.setdefault(op.object_id, set()).add(
             op.op_id.value
@@ -172,6 +179,7 @@ class CoveringTracker(EventListener):
         op = event.op
         if not op.is_mutator:
             return
+        self.version += 1
         self.pending_ops.pop(op.op_id.value, None)
         pending = self._pending_writes.get(op.object_id)
         if pending is not None:
@@ -186,6 +194,7 @@ class CoveringTracker(EventListener):
     def on_return(self, event: ReturnEvent) -> None:
         if event.name == self.write_name:
             self.completed_writers.add(event.client_id)
+            self.version += 1
 
     # -- Lemma 2 invariants --------------------------------------------------------
 

@@ -11,6 +11,15 @@ express client algorithms as Python generators:
   crash-prone, so waiting on one would forfeit fault tolerance).
 * ``yield predicate`` suspends the coroutine until ``predicate()`` holds
   (the paper's ``wait until ...``); ``yield None`` yields one step.
+  Wait predicates must be functions of *client-local* state — the
+  protocol's own fields and task handles, which change only when this
+  client takes a step or one of its low-level operations responds.  This
+  is the paper's model (clients are deterministic state machines whose
+  inputs are their own transitions), and the kernel's incremental
+  scheduler relies on it: a blocked client's predicates are re-evaluated
+  when the client is next touched, not on every global step.  A predicate
+  reading global state (e.g. the kernel clock) would require
+  ``Kernel.run(..., incremental=False)``.
 * ``upon receiving ... respond`` handlers are expressed by overriding
   :meth:`ClientProtocol.on_response`; they run atomically with the respond
   step (see DESIGN.md, "Modeling choices").
@@ -36,6 +45,12 @@ from repro.sim.objects import LowLevelOp, OpKind
 #: A client coroutine yields either ``None`` (take a step) or a zero-argument
 #: predicate (resume when it returns True).
 ClientCoroutine = Generator[Optional[Callable[[], bool]], None, Any]
+
+#: Scheduling categories a client reports to the kernel
+#: (:meth:`ClientRuntime._sched_category`): permanently or temporarily
+#: unable to step / definitely able to step / blocked on wait predicates
+#: that must be (re-)evaluated to know.
+SCHED_DISABLED, SCHED_ENABLED, SCHED_POLLING = 0, 1, 2
 
 
 @dataclass
@@ -150,6 +165,11 @@ class ClientRuntime:
         self.pending_ops: "set[OpId]" = set()
         # wired by the kernel at registration:
         self._kernel = None
+        # Incremental-scheduler poll state: the cached result of the last
+        # wait-predicate evaluation, and whether it needs re-evaluating
+        # (set whenever this client is touched).  Owned by the kernel.
+        self._poll_dirty = True
+        self._poll_cache = False
 
     # -- wiring ------------------------------------------------------------
 
@@ -164,6 +184,8 @@ class ClientRuntime:
     def enqueue(self, name: str, *args: Any) -> None:
         """Schedule a high-level operation invocation."""
         self.program.append((name, tuple(args)))
+        if self._kernel is not None:
+            self._kernel._refresh_client(self.client_id)
 
     @property
     def idle(self) -> bool:
@@ -179,6 +201,30 @@ class ClientRuntime:
         if self.idle:
             return bool(self.program)
         return any(task.runnable for task in self.tasks)
+
+    def _sched_category(self) -> int:
+        """How the kernel should track this client (incremental scheduling).
+
+        ``SCHED_ENABLED``/``SCHED_DISABLED`` answer :meth:`enabled`
+        definitively without touching wait predicates; ``SCHED_POLLING``
+        means every task is parked on a predicate, so enabledness requires
+        evaluation (:meth:`_poll_now`).
+        """
+        if self.crashed:
+            return SCHED_DISABLED
+        if self.idle:
+            return SCHED_ENABLED if self.program else SCHED_DISABLED
+        for task in self.tasks:
+            if task.waiting is None and not task.handle.done:
+                return SCHED_ENABLED
+        return SCHED_POLLING if self.tasks else SCHED_DISABLED
+
+    def _poll_now(self) -> bool:
+        """Evaluate the wait predicates of a ``SCHED_POLLING`` client."""
+        for task in self.tasks:
+            if task.runnable:
+                return True
+        return False
 
     def step(self) -> None:
         """Execute one client step: start the next op, or advance one task."""
@@ -268,3 +314,5 @@ class ClientRuntime:
         self.crashed = True
         self.tasks = []
         self.program.clear()
+        if self._kernel is not None:
+            self._kernel._refresh_client(self.client_id)

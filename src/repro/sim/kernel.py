@@ -16,15 +16,31 @@ adversary's power in the lower-bound proof (Definition 3: a blocked write
 "does not respond at t").  Fairness (Definition of fair runs) is then a
 property of the scheduler plus environment: every non-vetoed enabled action
 is eventually executed.
+
+Scheduling is *incremental*: the kernel maintains the enabled client set
+and the respondable pending-op set as live data structures, updated at the
+events that change them (trigger, respond, enqueue, crash, coroutine
+wait/wake) instead of recomputing them from scratch every step.
+:meth:`Kernel.enabled_actions` remains the from-scratch oracle — it is what
+``run(..., incremental=False)`` executes against, and
+:meth:`Kernel.check_incremental` asserts the two views agree (see
+``docs/MODEL.md``, "Performance", for the invariants).
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.sim.client import ClientProtocol, ClientRuntime
+from repro.sim.client import (
+    SCHED_DISABLED,
+    SCHED_ENABLED,
+    SCHED_POLLING,
+    ClientProtocol,
+    ClientRuntime,
+)
 from repro.sim.events import (
     CrashEvent,
     EventListener,
@@ -78,6 +94,21 @@ class Environment:
     def allows(self, action: Action, kernel: "Kernel") -> bool:
         return True
 
+    def veto_epoch(self, kernel: "Kernel") -> Optional[Any]:
+        """Cache token for veto verdicts, or None to disable caching.
+
+        Environments whose verdict for a given pending operation is a pure
+        function of some slowly-changing internal state may return a
+        hashable token identifying that state; while the token is
+        unchanged the kernel reuses each operation's cached
+        :meth:`allows` verdict instead of re-consulting.  The token MUST
+        change whenever any verdict could change (including inside
+        :meth:`on_stall`).  The default returns None: the environment is
+        consulted afresh on every step (required for verdicts that depend
+        on the current time, such as the chaos environment's).
+        """
+        return None
+
     def on_stall(self, kernel: "Kernel") -> bool:
         """Called when every enabled action is vetoed.
 
@@ -102,6 +133,17 @@ class RunResult:
         return self.reason == "until"
 
 
+#: (EventListener hook name, Kernel subscriber-list attribute).
+_HOOK_ATTRS = (
+    ("on_trigger", "_subs_trigger"),
+    ("on_respond", "_subs_respond"),
+    ("on_invoke", "_subs_invoke"),
+    ("on_return", "_subs_return"),
+    ("on_crash", "_subs_crash"),
+    ("on_step", "_subs_step"),
+)
+
+
 class Kernel:
     """Executes runs over an :class:`~repro.sim.server.ObjectMap`.
 
@@ -109,6 +151,18 @@ class Kernel:
     of enabled actions, apply the scheduler/environment, execute actions,
     publish events, and provide imperative controls (crashes, forced
     actions) used by the lower-bound run constructions.
+
+    Incremental bookkeeping (see ``docs/MODEL.md``, "Performance"):
+
+    * ``_candidates`` — sorted client ids that are enabled or may wake
+      (everything except crashed / idle-with-empty-program clients);
+    * ``_enabled_clients`` / ``_polling_clients`` — the candidate split:
+      definitely steppable vs. blocked on wait predicates that are
+      re-evaluated lazily (only after the client is touched);
+    * ``_respond_actions`` — cached ``RESPOND`` actions of pending ops on
+      live objects, kept in ascending op-id order;
+    * ``_veto_cache`` — per-op environment verdicts, valid for one
+      :meth:`Environment.veto_epoch` token.
     """
 
     def __init__(self, object_map: ObjectMap, scheduler, environment=None):
@@ -122,6 +176,26 @@ class Kernel:
         self.listeners: "List[EventListener]" = []
         self._next_op = 0
         self._next_seq = 0
+        # Incremental enabled-action state.
+        self._candidates: "List[ClientId]" = []
+        self._enabled_clients: "set[ClientId]" = set()
+        self._polling_clients: "set[ClientId]" = set()
+        self._client_actions: "Dict[ClientId, Action]" = {}
+        #: RESPOND actions for pending ops on live objects; insertion is in
+        #: ascending op-id order and deletions preserve it, so iteration
+        #: order always equals sorted order.
+        self._respond_actions: "Dict[OpId, Action]" = {}
+        # Per-op environment verdicts, valid for one veto epoch.
+        self._veto_cache: "Dict[OpId, bool]" = {}
+        self._veto_env = None
+        self._veto_epoch: Any = None
+        # Pre-bound listener hooks (populated by add_listener).
+        self._subs_trigger: "List[Callable]" = []
+        self._subs_respond: "List[Callable]" = []
+        self._subs_invoke: "List[Callable]" = []
+        self._subs_return: "List[Callable]" = []
+        self._subs_crash: "List[Callable]" = []
+        self._subs_step: "List[Callable]" = []
 
     # -- setup ---------------------------------------------------------------
 
@@ -133,20 +207,60 @@ class Kernel:
         runtime = ClientRuntime(client_id, protocol)
         runtime.attach(self)
         self.clients[client_id] = runtime
+        self._client_actions[client_id] = Action(
+            ActionKind.CLIENT, client_id=client_id
+        )
+        self._refresh_client(client_id)
         return runtime
 
     def add_listener(self, listener: EventListener) -> None:
+        """Subscribe a listener, pre-binding only the hooks it overrides.
+
+        Hooks left at the :class:`~repro.sim.events.EventListener`
+        defaults are skipped entirely at dispatch time (no call, and no
+        event-record allocation when a hook has no subscriber at all), so
+        narrow listeners cost nothing on the hooks they ignore.  Hooks
+        must therefore be in place *before* the listener is added —
+        methods attached to the instance afterwards are not discovered.
+        """
         self.listeners.append(listener)
+        for hook, attr in _HOOK_ATTRS:
+            bound = getattr(listener, hook, None)
+            if bound is None:
+                continue
+            base = getattr(EventListener, hook)
+            if getattr(bound, "__func__", bound) is base:
+                continue  # not overridden — never dispatch to it
+            getattr(self, attr).append(bound)
 
-    # -- event plumbing --------------------------------------------------------
+    # -- incremental client bookkeeping ---------------------------------------
 
-    def _emit(self, hook: str, event: Any) -> None:
-        for listener in self.listeners:
-            getattr(listener, hook)(event)
+    def _refresh_client(self, client_id: ClientId) -> None:
+        """Recategorize one client after an event that may change it.
 
-    def _emit_step(self) -> None:
-        for listener in self.listeners:
-            listener.on_step(self.time)
+        Called after every step of / response delivery to / enqueue on /
+        crash of the client.  Also marks the client's wait predicates
+        dirty, so polling clients are re-evaluated exactly when touched.
+        """
+        runtime = self.clients.get(client_id)
+        if runtime is None:
+            return
+        runtime._poll_dirty = True
+        category = runtime._sched_category()
+        enabled = self._enabled_clients
+        polling = self._polling_clients
+        was_candidate = client_id in enabled or client_id in polling
+        enabled.discard(client_id)
+        polling.discard(client_id)
+        if category == SCHED_ENABLED:
+            enabled.add(client_id)
+        elif category == SCHED_POLLING:
+            polling.add(client_id)
+        is_candidate = category != SCHED_DISABLED
+        if is_candidate and not was_candidate:
+            insort(self._candidates, client_id)
+        elif was_candidate and not is_candidate:
+            self._candidates.remove(client_id)
 
     # -- low-level operation lifecycle ------------------------------------------
 
@@ -173,7 +287,16 @@ class Kernel:
         self._next_op += 1
         self.ops[op.op_id] = op
         self.pending[op.op_id] = op
-        self._emit("on_trigger", TriggerEvent(self.time, op))
+        if not obj.crashed:
+            # Fresh op ids are strictly increasing, so appending here keeps
+            # _respond_actions in sorted order.
+            self._respond_actions[op.op_id] = Action(
+                ActionKind.RESPOND, op_id=op.op_id
+            )
+        if self._subs_trigger:
+            event = TriggerEvent(self.time, op)
+            for emit in self._subs_trigger:
+                emit(event)
         return op
 
     def _respond(self, op: LowLevelOp) -> None:
@@ -181,35 +304,62 @@ class Kernel:
         op.result = obj.apply(op)
         op.respond_time = self.time
         del self.pending[op.op_id]
-        self._emit("on_respond", RespondEvent(self.time, op))
+        self._respond_actions.pop(op.op_id, None)
+        self._veto_cache.pop(op.op_id, None)
+        if self._subs_respond:
+            event = RespondEvent(self.time, op)
+            for emit in self._subs_respond:
+                emit(event)
         client = self.clients.get(op.client_id)
         if client is not None:
             client.deliver_response(op)
+            self._refresh_client(op.client_id)
 
     # -- high-level operation recording ------------------------------------------
 
     def record_invoke(self, client_id: ClientId, name: str, args: tuple) -> int:
         seq = self._next_seq
         self._next_seq += 1
-        self._emit("on_invoke", InvokeEvent(self.time, client_id, seq, name, args))
+        if self._subs_invoke:
+            event = InvokeEvent(self.time, client_id, seq, name, args)
+            for emit in self._subs_invoke:
+                emit(event)
         return seq
 
     def record_return(
         self, client_id: ClientId, seq: int, name: str, result: Any
     ) -> None:
-        self._emit("on_return", ReturnEvent(self.time, client_id, seq, name, result))
+        if self._subs_return:
+            event = ReturnEvent(self.time, client_id, seq, name, result)
+            for emit in self._subs_return:
+                emit(event)
 
     # -- failures -------------------------------------------------------------------
 
     def crash_server(self, server_id: ServerId) -> None:
         """Crash a server and all base objects mapped to it."""
-        self.object_map.crash_server(server_id)
-        self._emit("on_crash", CrashEvent(self.time, server_id=server_id))
+        crashed = self.object_map.crash_server(server_id)
+        if crashed:
+            gone = set(crashed)
+            pending = self.pending
+            for op_id in [
+                op_id
+                for op_id in self._respond_actions
+                if pending[op_id].object_id in gone
+            ]:
+                del self._respond_actions[op_id]
+        if self._subs_crash:
+            event = CrashEvent(self.time, server_id=server_id)
+            for emit in self._subs_crash:
+                emit(event)
 
     def crash_client(self, client_id: ClientId) -> None:
         """Crash a client; its pending low-level ops remain pending."""
         self.clients[client_id].crash()
-        self._emit("on_crash", CrashEvent(self.time, client_id=client_id))
+        if self._subs_crash:
+            event = CrashEvent(self.time, client_id=client_id)
+            for emit in self._subs_crash:
+                emit(event)
 
     # -- enabled actions ---------------------------------------------------------------
 
@@ -217,7 +367,10 @@ class Kernel:
         """All actions executable in the current configuration.
 
         Deterministically ordered (clients by id, responds by op id) so a
-        seeded scheduler yields reproducible runs.
+        seeded scheduler yields reproducible runs.  This is the
+        from-scratch *oracle*: it rebuilds the set by inspecting every
+        client and pending op, independent of the incremental state, and
+        is what ``run(..., incremental=False)`` executes against.
         """
         actions: "List[Action]" = []
         for client_id in sorted(self.clients):
@@ -229,15 +382,89 @@ class Kernel:
                 actions.append(Action(ActionKind.RESPOND, op_id=op_id))
         return actions
 
+    def _collect_enabled(self) -> "List[Action]":
+        """The enabled actions, from the incremental state (fast path).
+
+        Returns the same deterministically-ordered list as
+        :meth:`enabled_actions` whenever wait predicates are functions of
+        client-local state (the model's contract — see
+        :mod:`repro.sim.client`).
+        """
+        actions: "List[Action]" = []
+        enabled = self._enabled_clients
+        client_actions = self._client_actions
+        clients = self.clients
+        for client_id in self._candidates:
+            if client_id in enabled:
+                actions.append(client_actions[client_id])
+            else:  # polling: blocked on wait predicates
+                runtime = clients[client_id]
+                if runtime._poll_dirty:
+                    runtime._poll_cache = runtime._poll_now()
+                    runtime._poll_dirty = False
+                if runtime._poll_cache:
+                    actions.append(client_actions[client_id])
+        if self._respond_actions:
+            actions.extend(self._respond_actions.values())
+        return actions
+
+    def _filter_allowed(self, actions: "List[Action]") -> "List[Action]":
+        """Drop the RESPOND actions the environment vetoes.
+
+        The single veto-filtering path shared by :meth:`run` (both the
+        incremental and oracle modes) and :meth:`allowed_actions`.  When
+        the environment publishes a :meth:`~Environment.veto_epoch`,
+        per-op verdicts are cached until the epoch changes; the default
+        environment (which never vetoes) short-circuits entirely.
+        """
+        env = self.environment
+        if type(env).allows is Environment.allows:
+            return actions  # the default environment vetoes nothing
+        epoch = env.veto_epoch(self)
+        if epoch is None:
+            allows = env.allows
+            return [
+                action
+                for action in actions
+                if action.kind is ActionKind.CLIENT or allows(action, self)
+            ]
+        if self._veto_env is not env or self._veto_epoch != epoch:
+            self._veto_cache.clear()
+            self._veto_env = env
+            self._veto_epoch = epoch
+        cache = self._veto_cache
+        allowed: "List[Action]" = []
+        for action in actions:
+            if action.kind is ActionKind.CLIENT:
+                allowed.append(action)
+                continue
+            verdict = cache.get(action.op_id)
+            if verdict is None:
+                verdict = cache[action.op_id] = env.allows(action, self)
+            if verdict:
+                allowed.append(action)
+        return allowed
+
     def allowed_actions(self) -> "List[Action]":
         """Enabled actions that the environment does not veto."""
-        allowed = []
-        for action in self.enabled_actions():
-            if action.kind is ActionKind.RESPOND:
-                if not self.environment.allows(action, self):
-                    continue
-            allowed.append(action)
-        return allowed
+        return self._filter_allowed(self.enabled_actions())
+
+    def check_incremental(self) -> None:
+        """Assert the incremental action state matches the oracle.
+
+        Raises RuntimeError when the incrementally-maintained enabled
+        list (including order) diverges from a from-scratch
+        :meth:`enabled_actions` rebuild.  Used by the property tests; safe
+        to call between steps of a run.
+        """
+        fast = self._collect_enabled()
+        oracle = self.enabled_actions()
+        if fast != oracle:
+            raise RuntimeError(
+                "incremental enabled-action state diverged from the oracle"
+                f" at t={self.time}:\n  incremental: {[str(a) for a in fast]}"
+                f"\n  oracle:      {[str(a) for a in oracle]}"
+            )
 
     # -- execution ------------------------------------------------------------------------
 
@@ -245,7 +472,11 @@ class Kernel:
         """Execute one action and advance time by one step."""
         self.time += 1
         if action.kind is ActionKind.CLIENT:
-            self.clients[action.client_id].step()
+            runtime = self.clients[action.client_id]
+            try:
+                runtime.step()
+            finally:
+                self._refresh_client(action.client_id)
         else:
             op = self.pending.get(action.op_id)
             if op is None:
@@ -253,7 +484,8 @@ class Kernel:
             if self.object_map.object(op.object_id).crashed:
                 raise RuntimeError(f"respond on crashed object: {op}")
             self._respond(op)
-        self._emit_step()
+        for emit in self._subs_step:
+            emit(self.time)
 
     def force_respond(self, op_id: OpId) -> None:
         """Imperatively execute a specific respond (run-construction tool)."""
@@ -267,34 +499,31 @@ class Kernel:
         self,
         max_steps: int = 100_000,
         until: Optional[Callable[["Kernel"], bool]] = None,
+        incremental: bool = True,
     ) -> RunResult:
         """Run under the scheduler/environment.
 
         Stops when ``until(kernel)`` holds, when no action is enabled
         (``"quiescent"``), when every enabled action is vetoed
         (``"blocked"``), or after ``max_steps`` steps.
+
+        ``incremental=False`` selects the from-scratch
+        :meth:`enabled_actions` rebuild on every step (the slow-path
+        oracle); both modes produce identical action sequences for the
+        same seed.
         """
+        collect = self._collect_enabled if incremental else self.enabled_actions
         steps = 0
         while steps < max_steps:
             if until is not None and until(self):
                 return RunResult(steps, "until")
-            enabled = self.enabled_actions()
+            enabled = collect()
             if not enabled:
                 return RunResult(steps, "quiescent")
-            allowed = [
-                a
-                for a in enabled
-                if a.kind is ActionKind.CLIENT
-                or self.environment.allows(a, self)
-            ]
+            allowed = self._filter_allowed(enabled)
             if not allowed:
                 if self.environment.on_stall(self):
-                    allowed = [
-                        a
-                        for a in enabled
-                        if a.kind is ActionKind.CLIENT
-                        or self.environment.allows(a, self)
-                    ]
+                    allowed = self._filter_allowed(collect())
                 if not allowed:
                     return RunResult(steps, "blocked")
             action = self.scheduler.choose(allowed, self)

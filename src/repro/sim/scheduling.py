@@ -41,32 +41,83 @@ class RandomScheduler(Scheduler):
 class RoundRobinScheduler(Scheduler):
     """Strongly fair: pick the allowed action enabled-and-unserved longest.
 
-    Implemented as "least recently executed first": each action key carries
-    the step at which it was last chosen (or its first-seen order for fresh
-    actions); the minimum wins.  Under this policy every continuously
-    allowed action is eventually executed, which realizes the paper's fair
-    runs whenever the environment stops vetoing.
+    Implemented as two insertion-ordered queues rather than a
+    ``min()``-scan over ever-growing bookkeeping dicts: ``_fresh`` holds
+    never-picked actions in first-seen order, ``_served`` holds picked
+    actions in last-picked order (a pick moves to the back).  The head-most
+    allowed action of ``_fresh`` (else of ``_served``) wins — exactly the
+    old "least recently executed, fresh first, ties by first-seen" policy,
+    but each pick is amortized O(1) instead of O(known actions).
+
+    Queue entries for low-level operations that already responded can
+    never recur (op ids are unique), so they are pruned lazily as scans
+    pass them and wholesale every ``_SWEEP_INTERVAL`` picks — the old
+    implementation kept them forever and leaked memory over long runs.
+    Under this policy every continuously allowed action is eventually
+    executed, which realizes the paper's fair runs whenever the
+    environment stops vetoing.
     """
 
+    _SWEEP_INTERVAL = 1024
+
     def __init__(self) -> None:
-        self._last_pick: "Dict[Action, int]" = {}
-        self._first_seen: "Dict[Action, int]" = {}
-        self._counter = 0
+        # Python dicts preserve insertion order; values are unused.
+        self._fresh: "Dict[Action, None]" = {}
+        self._served: "Dict[Action, None]" = {}
+        self._picks = 0
 
     def choose(self, actions: "List[Action]", kernel) -> Action:
-        self._counter += 1
+        fresh, served = self._fresh, self._served
         for action in actions:
-            if action not in self._first_seen:
-                self._first_seen[action] = self._counter
-        action = min(
-            actions,
-            key=lambda a: (
-                self._last_pick.get(a, -1),
-                self._first_seen[a],
-            ),
-        )
-        self._last_pick[action] = self._counter
-        return action
+            if action not in fresh and action not in served:
+                fresh[action] = None
+        self._picks += 1
+        if kernel is not None and self._picks % self._SWEEP_INTERVAL == 0:
+            self._sweep(kernel)
+        allowed = set(actions)
+        pick = self._scan(fresh, allowed, kernel)
+        if pick is not None:
+            del fresh[pick]
+        else:
+            pick = self._scan(served, allowed, kernel)
+            del served[pick]
+        served[pick] = None  # (re-)append at the back: last-picked order
+        return pick
+
+    @staticmethod
+    def _scan(queue, allowed, kernel):
+        """First allowed action in queue order, dropping stale responds."""
+        pending = kernel.pending if kernel is not None else None
+        pick = None
+        stale = None
+        for action in queue:
+            if action in allowed:
+                pick = action
+                break
+            if (
+                pending is not None
+                and action.kind is ActionKind.RESPOND
+                and action.op_id not in pending
+            ):
+                if stale is None:
+                    stale = []
+                stale.append(action)
+        if stale:
+            for action in stale:
+                del queue[action]
+        return pick
+
+    def _sweep(self, kernel) -> None:
+        """Drop every queued respond whose operation is no longer pending."""
+        pending = kernel.pending
+        for queue in (self._fresh, self._served):
+            for action in [
+                action
+                for action in queue
+                if action.kind is ActionKind.RESPOND
+                and action.op_id not in pending
+            ]:
+                del queue[action]
 
 
 class ClientPriorityScheduler(Scheduler):

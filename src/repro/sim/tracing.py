@@ -32,11 +32,40 @@ class TraceEntry:
     event: Any
 
 
-class TraceRecorder(EventListener):
-    """Chronological record of everything the kernel did."""
+#: event kind -> the EventListener hook that produces it.
+_HOOK_BY_KIND = {
+    "invoke": "on_invoke",
+    "return": "on_return",
+    "trigger": "on_trigger",
+    "respond": "on_respond",
+    "crash": "on_crash",
+}
 
-    def __init__(self) -> None:
+
+class TraceRecorder(EventListener):
+    """Chronological record of everything the kernel did.
+
+    ``kinds`` restricts recording to a subset of event kinds (e.g.
+    ``{"invoke", "return"}`` for high-level timelines only).  Unwanted
+    hooks are masked back to the no-op base before registration, so the
+    kernel's pre-bound dispatch skips them entirely — a filtered recorder
+    costs nothing on the hooks it ignores.
+    """
+
+    def __init__(self, kinds: "Optional[set]" = None) -> None:
         self.entries: "List[TraceEntry]" = []
+        if kinds is not None:
+            unknown = set(kinds) - set(_HOOK_BY_KIND)
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+            for kind, hook in _HOOK_BY_KIND.items():
+                if kind not in kinds:
+                    # An instance attribute bound to the base no-op: the
+                    # kernel's override detection sees the original
+                    # EventListener hook and never dispatches to it.
+                    setattr(
+                        self, hook, getattr(EventListener, hook).__get__(self)
+                    )
 
     def on_invoke(self, event: InvokeEvent) -> None:
         self.entries.append(TraceEntry("invoke", event.time, event))

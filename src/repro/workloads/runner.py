@@ -68,6 +68,13 @@ def run_workload(
         index: emulation.add_reader() for index in workload.reader_indices
     }
 
+    # The client set is fixed for the whole workload: build the list once
+    # instead of on every step of every round inside the until-predicate.
+    live = list(writers.values()) + list(readers.values())
+
+    def _round_done(k) -> bool:
+        return all(c.crashed or (c.idle and not c.program) for c in live)
+
     total_steps = 0
     completed_rounds = 0
     for round_ops in workload.rounds:
@@ -75,12 +82,6 @@ def run_workload(
             kind, index = invocation.client
             runtime = writers[index] if kind == "writer" else readers[index]
             runtime.enqueue(invocation.name, *invocation.args)
-
-        def _round_done(k) -> bool:
-            live = list(writers.values()) + list(readers.values())
-            return all(
-                c.crashed or (c.idle and not c.program) for c in live
-            )
 
         result = kernel.run(max_steps=max_steps_per_round, until=_round_done)
         total_steps += result.steps

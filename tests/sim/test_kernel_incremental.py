@@ -1,0 +1,308 @@
+"""Differential and unit tests for the incremental scheduling kernel.
+
+The kernel maintains the enabled-action set incrementally
+(``run(incremental=True)``, the default) with ``enabled_actions()`` kept
+as the from-scratch oracle (``run(incremental=False)``).  The tests here
+prove the two paths are *observationally identical*: driven by the same
+seeded scheduler they choose the exact same action sequence — including
+under an adversarial environment, stalls, and crashes — and the fast-path
+machinery (pre-bound listener dispatch, veto-verdict caching, the O(1)
+round-robin queues) preserves the seed-reproducibility contract.
+"""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.core.ws_register import WSRegisterEmulation
+from repro.sim.chaos import ChaosEnvironment
+from repro.sim.events import EventListener
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ClientId, ServerId
+from repro.sim.kernel import Action, ActionKind, Environment
+from repro.sim.replay import RecordingScheduler
+from repro.sim.scheduling import RandomScheduler, RoundRobinScheduler
+from repro.sim.system import build_system
+from repro.sim.tracing import TraceRecorder
+
+
+# -- differential: incremental vs from-scratch oracle ---------------------
+
+
+def _drive_ws(seed, incremental, environment=None, crash_plan=None):
+    """One seeded WSRegister run; returns (script, reason, time, history)."""
+    scheduler = RecordingScheduler(RandomScheduler(seed))
+    emu = WSRegisterEmulation(
+        2, 3, 1, scheduler=scheduler, environment=environment
+    )
+    writers = [emu.add_writer(index) for index in range(2)]
+    reader = emu.add_reader()
+    if crash_plan is not None:
+        crash_plan(writers, reader).install(emu.kernel)
+    for index in range(6):
+        writers[index % 2].enqueue("write", f"v{index}")
+        reader.enqueue("read")
+    live = [*writers, reader]
+
+    def done(kernel):
+        return all(c.crashed or (c.idle and not c.program) for c in live)
+
+    result = emu.kernel.run(max_steps=20_000, until=done, incremental=incremental)
+    history = [
+        (op.seq, op.name, op.invoke_time, op.return_time, repr(op.result))
+        for op in emu.history.all_ops()
+    ]
+    return scheduler.script, result.reason, emu.kernel.time, history
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+def test_differential_identical_action_sequences(seed):
+    """Old path and new path pick the same actions for the same seed."""
+    assert _drive_ws(seed, incremental=True) == _drive_ws(
+        seed, incremental=False
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 3, 99])
+def test_differential_under_chaos_environment(seed):
+    """Equivalence holds with a vetoing, stalling environment in play."""
+
+    def chaos():
+        return ChaosEnvironment(seed=seed, veto_probability=0.6, max_delay=60)
+
+    assert _drive_ws(seed, True, environment=chaos()) == _drive_ws(
+        seed, False, environment=chaos()
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 5, 77])
+def test_differential_with_crashes(seed):
+    """Equivalence holds across server and client crashes mid-run."""
+
+    def plan(writers, reader):
+        return (
+            CrashPlan()
+            .crash_server_at(40, ServerId(0))
+            .crash_client_at(90, writers[1].client_id)
+        )
+
+    assert _drive_ws(seed, True, crash_plan=plan) == _drive_ws(
+        seed, False, crash_plan=plan
+    )
+
+
+def test_check_incremental_holds_throughout_a_run():
+    """The oracle-vs-incremental assertion passes at every step."""
+    system = build_system(
+        1, [(0, "register", None)], scheduler=RandomScheduler(4)
+    )
+
+    class Checker(EventListener):
+        def __init__(self):
+            self.checked = 0
+
+        def on_step(self, time):
+            system.kernel.check_incremental()
+            self.checked += 1
+
+    checker = Checker()
+    system.kernel.add_listener(checker)
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    client.enqueue("read")
+    assert system.run_to_quiescence().satisfied
+    assert checker.checked > 0
+    system.kernel.check_incremental()  # and in the final configuration
+
+
+def test_check_incremental_detects_divergence():
+    system = build_system(1, [(0, "register", None)])
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)  # the client is now genuinely enabled
+    # Corrupt the incremental state behind the kernel's back.
+    system.kernel._enabled_clients.discard(ClientId(0))
+    system.kernel._candidates.clear()
+    with pytest.raises(RuntimeError, match="diverged"):
+        system.kernel.check_incremental()
+
+
+# -- listener pre-binding --------------------------------------------------
+
+
+class _CountingListener(EventListener):
+    def __init__(self):
+        self.triggers = 0
+        self.steps = 0
+
+    def on_trigger(self, event):
+        self.triggers += 1
+
+    def on_step(self, time):
+        self.steps += 1
+
+
+def test_add_listener_subscribes_only_overridden_hooks():
+    system = build_system(1, [(0, "register", None)])
+    kernel = system.kernel
+    baseline = {
+        attr: len(getattr(kernel, attr))
+        for attr in (
+            "_subs_trigger",
+            "_subs_respond",
+            "_subs_invoke",
+            "_subs_return",
+            "_subs_crash",
+            "_subs_step",
+        )
+    }
+    listener = _CountingListener()
+    kernel.add_listener(listener)
+    assert len(kernel._subs_trigger) == baseline["_subs_trigger"] + 1
+    assert len(kernel._subs_step) == baseline["_subs_step"] + 1
+    # Hooks left at the EventListener defaults are never dispatched to.
+    for attr in ("_subs_respond", "_subs_invoke", "_subs_return", "_subs_crash"):
+        assert len(getattr(kernel, attr)) == baseline[attr]
+    assert listener in kernel.listeners
+
+
+def test_prebound_listener_receives_events():
+    system = build_system(1, [(0, "register", None)])
+    listener = _CountingListener()
+    system.kernel.add_listener(listener)
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    assert system.run_to_quiescence().satisfied
+    assert listener.triggers == 1
+    assert listener.steps == system.kernel.time
+
+
+def test_trace_recorder_kinds_filter_skips_subscription():
+    system = build_system(1, [(0, "register", None)])
+    kernel = system.kernel
+    respond_subs = len(kernel._subs_respond)
+    recorder = TraceRecorder(kinds={"invoke", "return"})
+    kernel.add_listener(recorder)
+    assert len(kernel._subs_respond) == respond_subs  # masked hook skipped
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    assert system.run_to_quiescence().satisfied
+    kinds = {entry.kind for entry in recorder.entries}
+    assert kinds == {"invoke", "return"}
+
+
+def test_trace_recorder_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="unknown event kinds"):
+        TraceRecorder(kinds={"invoke", "teleport"})
+
+
+# -- veto-verdict caching --------------------------------------------------
+
+
+class _EpochedEnvironment(Environment):
+    """Vetoes every respond; counts consultations; manual epoch bumps."""
+
+    def __init__(self):
+        self.epoch = 0
+        self.consultations = 0
+
+    def veto_epoch(self, kernel):
+        return self.epoch
+
+    def allows(self, action, kernel):
+        self.consultations += 1
+        return False
+
+
+def test_veto_verdicts_cached_within_an_epoch():
+    env = _EpochedEnvironment()
+    system = build_system(
+        1, [(0, "register", None)], environment=env
+    )
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    system.kernel.force_client_step(ClientId(0))  # trigger the low-level op
+    assert len(system.kernel.pending) == 1
+    system.kernel.allowed_actions()
+    assert env.consultations == 1
+    # Same epoch: the cached verdict is reused, no re-consultation.
+    system.kernel.allowed_actions()
+    system.kernel.allowed_actions()
+    assert env.consultations == 1
+    # A new epoch invalidates the cache.
+    env.epoch += 1
+    system.kernel.allowed_actions()
+    assert env.consultations == 2
+
+
+def test_default_epoch_none_disables_caching():
+    class Vetoer(Environment):
+        def __init__(self):
+            self.consultations = 0
+
+        def allows(self, action, kernel):
+            self.consultations += 1
+            return False
+
+    env = Vetoer()
+    system = build_system(1, [(0, "register", None)], environment=env)
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    system.kernel.force_client_step(ClientId(0))
+    system.kernel.allowed_actions()
+    system.kernel.allowed_actions()
+    assert env.consultations == 2  # consulted afresh each time
+
+
+def test_vetoed_run_blocks_like_before():
+    env = _EpochedEnvironment()
+    system = build_system(1, [(0, "register", None)], environment=env)
+    client = system.add_client(ClientId(0), ToyProtocol())
+    client.enqueue("write", 1)
+    result = system.kernel.run(max_steps=100)
+    assert result.reason == "blocked"
+
+
+# -- round-robin queues: policy and memory bound ---------------------------
+
+
+def test_round_robin_does_not_accumulate_responded_ops():
+    """Long runs must not leak queue entries for dead op ids."""
+    system = build_system(
+        1, [(0, "register", None)], scheduler=RoundRobinScheduler()
+    )
+    client = system.add_client(ClientId(0), ToyProtocol())
+    for index in range(200):
+        client.enqueue("write", index)
+    assert system.run_to_quiescence().satisfied
+    scheduler = system.kernel.scheduler
+    tracked = len(scheduler._fresh) + len(scheduler._served)
+    # 200 writes = 200 distinct respond actions over the run; only the
+    # client action plus at most a sweep-interval of stale responds may
+    # remain tracked.
+    assert tracked <= 1 + RoundRobinScheduler._SWEEP_INTERVAL
+    responds = [
+        action
+        for queue in (scheduler._fresh, scheduler._served)
+        for action in queue
+        if action.kind is ActionKind.RESPOND
+    ]
+    live = [a for a in responds if a.op_id in system.kernel.pending]
+    assert not live  # nothing pending at quiescence
+
+
+def test_round_robin_policy_fresh_first_then_least_recent():
+    scheduler = RoundRobinScheduler()
+    a, b, c = (
+        Action(ActionKind.CLIENT, client_id=ClientId(i)) for i in range(3)
+    )
+    # First pass: fresh actions win in first-seen order.
+    assert scheduler.choose([a, b, c], None) == a
+    assert scheduler.choose([a, b, c], None) == b
+    assert scheduler.choose([a, b, c], None) == c
+    # All served: least-recently-picked wins.
+    assert scheduler.choose([a, b, c], None) == a
+    assert scheduler.choose([b, c], None) == b
+    # A newly appearing action is fresh and preempts the served ones.
+    d = Action(ActionKind.CLIENT, client_id=ClientId(3))
+    assert scheduler.choose([c, d], None) == d
+    assert scheduler.choose([c, d], None) == c
