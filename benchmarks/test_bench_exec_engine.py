@@ -1,0 +1,68 @@
+"""Experiment ENG — the parallel experiment engine itself.
+
+Runs a simulating grid (B1 sharded over update_counts) three ways — serial,
+``jobs=2``, and warm-cache — and tabulates wall-clock, kernel steps and
+cache hits.  The qualitative claims: all three produce byte-identical
+tables, and the warm-cache pass simulates zero kernel steps.
+
+Wall-clock parallel speedup is *not* asserted: the cells are small
+enough that fork/pickle overhead can dominate on shared CI runners.
+The table records it so the trajectory is visible in ``results.txt``.
+
+``BENCH_ENGINE_SMOKE=1`` shrinks the grid (CI smoke mode).
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.exec import ResultCache, run_experiment_grid
+
+SMOKE = os.environ.get("BENCH_ENGINE_SMOKE", "") not in ("", "0")
+UPDATES = (4, 8, 16) if SMOKE else (4, 8, 16, 32, 64, 128)
+KWARGS = {"update_counts": UPDATES}
+
+
+def _timed(jobs, cache):
+    start = time.perf_counter()
+    merged, report = run_experiment_grid("B1", KWARGS, jobs=jobs, cache=cache)
+    return merged, report, time.perf_counter() - start
+
+
+def test_engine_modes_agree_and_cache_skips_simulation(tmp_path):
+    cache_root = tmp_path / "cache"
+
+    serial, serial_report, serial_secs = _timed(1, None)
+    parallel, parallel_report, parallel_secs = _timed(
+        2, ResultCache(cache_root)
+    )
+    cached, cached_report, cached_secs = _timed(1, ResultCache(cache_root))
+
+    rows = [
+        ["serial", len(serial_report.outcomes), serial_report.total_steps,
+         serial_report.cache_hits, f"{serial_secs:.3f}"],
+        ["jobs=2", len(parallel_report.outcomes),
+         parallel_report.total_steps, parallel_report.cache_hits,
+         f"{parallel_secs:.3f}"],
+        ["warm cache", len(cached_report.outcomes),
+         cached_report.total_steps, cached_report.cache_hits,
+         f"{cached_secs:.3f}"],
+    ]
+    emit(
+        render_table(
+            ["mode", "cells", "kernel steps", "cache hits", "seconds"],
+            rows,
+            title=f"ENG: engine modes on B1, updates in {list(UPDATES)}",
+        )
+    )
+
+    assert parallel.render() == serial.render()
+    assert cached.render() == serial.render()
+    assert parallel_report.total_steps == serial_report.total_steps > 0
+    assert cached_report.total_steps == 0
+    assert cached_report.cache_hits == len(UPDATES)
+    assert not (
+        serial_report.failed or parallel_report.failed or cached_report.failed
+    )

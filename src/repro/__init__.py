@@ -25,6 +25,7 @@ Quickstart::
 """
 
 from repro.core import bounds
+from repro.core.emulation import Emulation, EmulationSpec
 from repro.core.abd import ABDEmulation
 from repro.core.adversary import AdversaryAdi
 from repro.core.cas_maxreg import CASABDEmulation, SingleCASMaxRegister
@@ -47,6 +48,8 @@ from repro.consistency import (
 from repro.apps.config import ConfigService, InstallRaced
 from repro.apps.epoch import EpochService
 from repro.apps.kv import KVConfig, ReplicatedKVStore
+from repro.exec import Cell, Grid, ResultCache, run_experiment_grid
+from repro.experiments import ExperimentResult, run_experiment
 from repro.verify import VerificationReport, verify_run
 from repro.workloads import run_workload, write_sequential_workload
 
@@ -56,11 +59,16 @@ __all__ = [
     "ABDEmulation",
     "AdversaryAdi",
     "CASABDEmulation",
+    "Cell",
     "CollectMaxRegister",
     "ConfigService",
     "CoveringTracker",
+    "Emulation",
+    "EmulationSpec",
     "EpochService",
+    "ExperimentResult",
     "FTMaxRegister",
+    "Grid",
     "InstallRaced",
     "KVConfig",
     "Lemma1Runner",
@@ -68,6 +76,7 @@ __all__ = [
     "RegisterLayout",
     "ReplicatedKVStore",
     "ReplicatedMaxRegisterEmulation",
+    "ResultCache",
     "SingleCASMaxRegister",
     "VerificationReport",
     "WSRegisterEmulation",
@@ -76,6 +85,8 @@ __all__ = [
     "check_ws_safe",
     "is_linearizable",
     "is_register_history_atomic",
+    "run_experiment",
+    "run_experiment_grid",
     "run_workload",
     "verify_run",
     "write_sequential_workload",

@@ -43,7 +43,12 @@ class ResourceMeter(EventListener):
             self.max_covered = max(self.max_covered, self.covered_now)
 
     def on_respond(self, event: RespondEvent) -> None:
-        if event.op.is_mutator:
+        # A respond for an untracked object belongs to an op triggered
+        # before this meter attached (e.g. in-flight beyond the quorum a
+        # previous workload waited for) — not part of this run's measure.
+        if event.op.is_mutator and self._pending_mutators.get(
+            event.op.object_id, 0
+        ) > 0:
             self._pending_mutators[event.op.object_id] -= 1
 
     @property

@@ -4,10 +4,24 @@ Commands:
 
 * ``bounds  -k K -n N -f F``  — print the Table 1 row for the parameters.
 * ``layout  -k K -n N -f F``  — print the Figure 1-style register layout.
-* ``sweep   -k K -f F``       — register bounds across the server count.
+* ``sweep   -k K -f F``       — register bounds vs the server count,
+  measured on deployed Algorithm 2 layouts (Theorem 1 through the grid
+  engine: one cell per n).
 * ``lemma1  -k K -n N -f F``  — run the lower-bound adversary against
   Algorithm 2 and print the covering growth.
+* ``ablate``                  — break Algorithm 2's mechanisms and show
+  the resulting WS-Safety violations (one cell per variant).
+* ``experiment <id>``         — regenerate paper tables/figures by id.
 * ``demo``                    — a quick write/read/crash walkthrough.
+
+``experiment``, ``sweep`` and ``ablate`` route through the parallel
+experiment engine (:mod:`repro.exec`): ``--jobs N`` fans independent
+cells out to worker processes, results persist in a content-addressed
+cache under ``--cache-dir`` (default ``.repro_cache/``), and repeated
+invocations complete from cache without simulating a single kernel step.
+Tables print to stdout; per-cell progress and the
+``engine: cells=... hits=... misses=...`` summary go to stderr, so
+stdout stays byte-identical between serial, parallel and cached runs.
 """
 
 from __future__ import annotations
@@ -21,6 +35,13 @@ from repro.core import bounds
 from repro.core.layout import RegisterLayout
 from repro.core.lemma1 import Lemma1Runner
 from repro.core.ws_register import WSRegisterEmulation
+from repro.exec import (
+    ResultCache,
+    expand_experiment,
+    merge_results,
+    run_cells,
+    run_experiment_grid,
+)
 from repro.sim.ids import ServerId
 from repro.sim.scheduling import RandomScheduler
 
@@ -30,6 +51,51 @@ def _add_knf(parser: argparse.ArgumentParser, need_n: bool = True) -> None:
     if need_n:
         parser.add_argument("-n", type=int, default=7, help="number of servers")
     parser.add_argument("-f", type=int, default=2, help="failure threshold")
+
+
+def _add_seed(
+    parser: argparse.ArgumentParser, default: "Optional[int]" = None
+) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help="scheduler seed (recorded in result payloads)",
+    )
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent cells (1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache entirely",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every cell and overwrite its cached result",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="PATH",
+        help="result cache root (default: .repro_cache)",
+    )
+
+
+def _engine_cache(args) -> "Optional[ResultCache]":
+    return None if args.no_cache else ResultCache(args.cache_dir)
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr)
 
 
 def cmd_bounds(args) -> int:
@@ -55,23 +121,17 @@ def cmd_layout(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    rows = []
-    for n in range(2 * args.f + 1, bounds.saturation_n(args.k, args.f) + 3):
-        rows.append(
-            [
-                n,
-                bounds.register_lower_bound(args.k, n, args.f),
-                bounds.register_upper_bound(args.k, n, args.f),
-            ]
-        )
-    print(
-        render_table(
-            ["n", "lower", "upper"],
-            rows,
-            title=f"register bounds vs n @ k={args.k}, f={args.f}",
-        )
+    result, report = run_experiment_grid(
+        "TH1",
+        {"k": args.k, "f": args.f},
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_engine_cache(args),
+        refresh=args.refresh,
+        progress=_progress,
     )
-    return 0
+    print(result.render())
+    return 1 if report.failed else 0
 
 
 def cmd_lemma1(args) -> int:
@@ -80,7 +140,8 @@ def cmd_lemma1(args) -> int:
             k=args.k, n=args.n, f=args.f, scheduler=scheduler
         )
 
-    runner = Lemma1Runner(factory, k=args.k, f=args.f)
+    scheduler = None if args.seed is None else RandomScheduler(args.seed)
+    runner = Lemma1Runner(factory, k=args.k, f=args.f, scheduler=scheduler)
     reports = runner.run()
     rows = [
         [r.index, r.covered, r.index * args.f, r.covered_servers_in_F]
@@ -102,34 +163,16 @@ def cmd_lemma1(args) -> int:
 
 
 def cmd_ablate(args) -> int:
-    from repro.core.ablation import (
-        baseline_no_violation,
-        cover_avoidance_violation,
-        small_quorum_violation,
+    result, report = run_experiment_grid(
+        "ABL",
+        {},
+        jobs=args.jobs,
+        cache=_engine_cache(args),
+        refresh=args.refresh,
+        progress=_progress,
     )
-
-    rows = []
-    for name, fn in (
-        ("Algorithm 2 (intact)", baseline_no_violation),
-        ("no cover avoidance", cover_avoidance_violation),
-        ("write quorum |R|-f-1", small_quorum_violation),
-    ):
-        violations = fn()
-        rows.append(
-            [
-                name,
-                "SAFE" if not violations else "WS-Safety VIOLATED",
-                str(violations[0]) if violations else "-",
-            ]
-        )
-    print(
-        render_table(
-            ["variant", "outcome", "detail"],
-            rows,
-            title="Algorithm 2 ablations under the covering adversary",
-        )
-    )
-    return 0
+    print(result.render())
+    return 1 if report.failed else 0
 
 
 def cmd_theorem5(args) -> int:
@@ -147,7 +190,7 @@ def cmd_theorem5(args) -> int:
 def cmd_experiment(args) -> int:
     import json
 
-    from repro.experiments import list_experiments, run_experiment
+    from repro.experiments import list_experiments
 
     if args.list or (args.id is None and not args.all):
         print("available experiments:")
@@ -155,7 +198,32 @@ def cmd_experiment(args) -> int:
             print(f"  {experiment_id}")
         return 0
     ids = list_experiments() if args.all else [args.id]
-    results = [run_experiment(experiment_id) for experiment_id in ids]
+
+    # One engine pass over every cell of every requested experiment: the
+    # whole batch shares the pool, the cache and a single summary line.
+    cells = []
+    spans = []
+    for experiment_id in ids:
+        expansion = expand_experiment(experiment_id, {}, seed=args.seed)
+        spans.append((len(cells), len(cells) + len(expansion)))
+        cells.extend(expansion)
+    report = run_cells(
+        cells,
+        jobs=args.jobs,
+        cache=_engine_cache(args),
+        refresh=args.refresh,
+        progress=_progress,
+    )
+    results = []
+    for experiment_id, (start, end) in zip(ids, spans):
+        shard_results = [o.result for o in report.outcomes[start:end]]
+        try:
+            results.append(merge_results(shard_results))
+        except ValueError:
+            print(
+                f"error: every cell of {experiment_id!r} failed",
+                file=sys.stderr,
+            )
     if args.json:
         payload = [result.to_dict() for result in results]
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -165,11 +233,13 @@ def cmd_experiment(args) -> int:
         for result in results:
             print(result.render())
             print()
-    return 0
+    return 1 if report.failed else 0
 
 
 def cmd_demo(args) -> int:
-    emu = WSRegisterEmulation(k=1, n=5, f=2, scheduler=RandomScheduler(0))
+    emu = WSRegisterEmulation(
+        k=1, n=5, f=2, scheduler=RandomScheduler(args.seed)
+    )
     writer = emu.add_writer(0)
     reader = emu.add_reader()
     writer.enqueue("write", "hello, fault tolerance")
@@ -204,17 +274,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_knf(p_layout)
     p_layout.set_defaults(fn=cmd_layout)
 
-    p_sweep = sub.add_parser("sweep", help="register bounds vs n")
+    p_sweep = sub.add_parser(
+        "sweep", help="register bounds vs n, measured (Theorem 1 grid)"
+    )
     _add_knf(p_sweep, need_n=False)
+    _add_seed(p_sweep)
+    _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_lemma1 = sub.add_parser("lemma1", help="run the covering adversary")
     _add_knf(p_lemma1)
+    _add_seed(p_lemma1)
     p_lemma1.set_defaults(fn=cmd_lemma1)
 
     p_ablate = sub.add_parser(
         "ablate", help="break Algorithm 2's mechanisms and show violations"
     )
+    _add_engine_flags(p_ablate)
     p_ablate.set_defaults(fn=cmd_ablate)
 
     p_th5 = sub.add_parser(
@@ -236,9 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--json", metavar="PATH", help="write results as JSON to PATH"
     )
+    _add_seed(p_exp)
+    _add_engine_flags(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_demo = sub.add_parser("demo", help="quick write/read/crash demo")
+    _add_seed(p_demo, default=0)
     p_demo.set_defaults(fn=cmd_demo)
 
     return parser

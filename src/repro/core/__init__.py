@@ -20,6 +20,12 @@
 """
 
 from repro.core import bounds
+from repro.core.emulation import (
+    Emulation,
+    EmulationSpec,
+    algorithm_names,
+    register_algorithm,
+)
 from repro.core.layout import RegisterLayout
 from repro.core.ws_register import WSRegisterEmulation, WSRegisterClient
 from repro.core.abd import ABDEmulation, ABDClient
@@ -48,6 +54,8 @@ __all__ = [
     "CollectMaxRegister",
     "CoveringTracker",
     "CapacitatedPlan",
+    "Emulation",
+    "EmulationSpec",
     "FTMaxRegister",
     "Lemma1Runner",
     "MultiRegisterDeployment",
@@ -58,6 +66,8 @@ __all__ = [
     "SingleCASMaxRegister",
     "WSRegisterClient",
     "WSRegisterEmulation",
+    "algorithm_names",
     "bounds",
     "capacitated_layout",
+    "register_algorithm",
 ]

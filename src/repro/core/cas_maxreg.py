@@ -123,12 +123,25 @@ class SingleCASMaxRegister:
     def history(self) -> History:
         return self.system.history
 
+    @property
+    def object_map(self):
+        return self.system.object_map
+
     def add_client(self, client_id: "Optional[ClientId]" = None):
         if client_id is None:
             client_id = ClientId(len(self._clients))
         protocol = CASMaxRegisterClient(ObjectId(0), self.initial_value)
         self._clients.append(protocol)
         return self.kernel.add_client(client_id, protocol)
+
+    # Writers are unbounded; the writer/reader split below only serves the
+    # uniform Emulation surface (ops are write_max / read_max).
+
+    def add_writer(self, writer_index: int):
+        return self.add_client(ClientId(writer_index))
+
+    def add_reader(self):
+        return self.add_client(ClientId(1000 + len(self._clients)))
 
     @property
     def total_iterations(self) -> int:

@@ -109,6 +109,10 @@ class CollectMaxRegister:
         return self.system.history
 
     @property
+    def object_map(self):
+        return self.system.object_map
+
+    @property
     def total_registers(self) -> int:
         """Exactly k — matching Theorem 2's lower bound."""
         return self.k

@@ -1,0 +1,193 @@
+"""The emulation contract, made explicit.
+
+Every deployed emulation in :mod:`repro.core` exposes the same surface —
+``kernel`` / ``object_map`` / ``history`` / ``system`` plus
+``add_writer(index)`` / ``add_reader()`` — but until now that contract
+was duck-typed: the workload runner, the Lemma 1 machinery and the
+experiment registry all relied on it implicitly.  This module states it
+once:
+
+* :class:`Emulation` — a ``typing.Protocol`` naming the surface, so
+  conformance is checkable (``isinstance`` works — the protocol is
+  ``runtime_checkable``) and new emulations have a contract to build to.
+* :class:`EmulationSpec` — a picklable *description* of an emulation
+  (algorithm name + parameters + scheduler seed).  Deployed emulations
+  hold a live kernel, client coroutines and listener closures and cannot
+  cross a process boundary; a spec can, which is what lets the parallel
+  experiment engine (:mod:`repro.exec`) fan work out to worker
+  processes and rebuild identical deployments there.
+
+The algorithm registry maps stable names to constructors::
+
+    spec = EmulationSpec("ws-register", k=2, n=5, f=2, seed=7)
+    emu = spec.build()           # a WSRegisterEmulation, seeded scheduler
+    run_workload(spec, workload) # runner builds it for you
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.sim.scheduling import RandomScheduler
+
+
+@runtime_checkable
+class Emulation(Protocol):
+    """A deployed register (or max-register) emulation.
+
+    The properties expose the wired simulation; the two methods attach
+    clients.  ``add_writer(i)`` registers writer ``i`` (0-based; bounded
+    by ``k`` where the algorithm bounds writers); ``add_reader()``
+    attaches a fresh reader (readers are unbounded everywhere).
+    """
+
+    @property
+    def kernel(self) -> Any: ...
+
+    @property
+    def object_map(self) -> Any: ...
+
+    @property
+    def history(self) -> Any: ...
+
+    @property
+    def system(self) -> Any: ...
+
+    def add_writer(self, writer_index: int) -> Any: ...
+
+    def add_reader(self) -> Any: ...
+
+
+#: algorithm name -> (constructor, parameter names it accepts)
+_ALGORITHMS: "Dict[str, Callable[..., Any]]" = {}
+
+
+def register_algorithm(name: str):
+    """Register a builder ``fn(**params) -> Emulation`` under ``name``."""
+
+    def wrap(fn):
+        _ALGORITHMS[name] = fn
+        return fn
+
+    return wrap
+
+
+def algorithm_names() -> "Tuple[str, ...]":
+    return tuple(sorted(_ALGORITHMS))
+
+
+@dataclass(frozen=True)
+class EmulationSpec:
+    """A picklable factory description for an :class:`Emulation`.
+
+    ``algorithm`` names a registered constructor; ``k``/``n``/``f`` are
+    the paper's parameters (leave at ``None`` where the algorithm does
+    not take them); ``seed`` seeds the scheduler (``None`` uses the
+    simulator default, ``RandomScheduler(0)``); ``options`` carries any
+    extra constructor keywords as a sorted item tuple so the spec stays
+    hashable.
+    """
+
+    algorithm: str
+    k: "Optional[int]" = None
+    n: "Optional[int]" = None
+    f: "Optional[int]" = None
+    seed: "Optional[int]" = None
+    options: "Tuple[Tuple[str, Any], ...]" = ()
+
+    @classmethod
+    def make(cls, algorithm: str, **params) -> "EmulationSpec":
+        """Build a spec, routing unknown keywords into ``options``."""
+        known = {
+            key: params.pop(key)
+            for key in ("k", "n", "f", "seed")
+            if key in params
+        }
+        return cls(
+            algorithm,
+            options=tuple(sorted(params.items())),
+            **known,
+        )
+
+    def build(self) -> Emulation:
+        """Construct the described emulation (fresh kernel, no clients)."""
+        try:
+            factory = _ALGORITHMS[self.algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r};"
+                f" known: {', '.join(algorithm_names())}"
+            ) from None
+        kwargs: "Dict[str, Any]" = dict(self.options)
+        for name in ("k", "n", "f"):
+            value = getattr(self, name)
+            if value is not None:
+                kwargs[name] = value
+        if self.seed is not None:
+            kwargs["scheduler"] = RandomScheduler(self.seed)
+        return factory(**kwargs)
+
+
+@register_algorithm("ws-register")
+def _build_ws_register(**kwargs) -> Emulation:
+    from repro.core.ws_register import WSRegisterEmulation
+
+    return WSRegisterEmulation(**kwargs)
+
+
+@register_algorithm("abd")
+def _build_abd(**kwargs) -> Emulation:
+    from repro.core.abd import ABDEmulation
+
+    kwargs.pop("k", None)  # writers are unbounded in ABD
+    return ABDEmulation(**kwargs)
+
+
+@register_algorithm("cas-abd")
+def _build_cas_abd(**kwargs) -> Emulation:
+    from repro.core.cas_maxreg import CASABDEmulation
+
+    kwargs.pop("k", None)
+    return CASABDEmulation(**kwargs)
+
+
+@register_algorithm("replicated-maxreg")
+def _build_replicated_maxreg(**kwargs) -> Emulation:
+    from repro.core.collect_maxreg import ReplicatedMaxRegisterEmulation
+
+    return ReplicatedMaxRegisterEmulation(**kwargs)
+
+
+@register_algorithm("collect-maxreg")
+def _build_collect_maxreg(**kwargs) -> Emulation:
+    from repro.core.collect_maxreg import CollectMaxRegister
+
+    kwargs.pop("n", None)  # single-server construction
+    kwargs.pop("f", None)
+    return CollectMaxRegister(**kwargs)
+
+
+@register_algorithm("ft-maxreg")
+def _build_ft_maxreg(**kwargs) -> Emulation:
+    from repro.core.ft_maxreg import FTMaxRegister
+
+    kwargs.pop("k", None)
+    return FTMaxRegister(**kwargs)
+
+
+@register_algorithm("single-cas")
+def _build_single_cas(**kwargs) -> Emulation:
+    from repro.core.cas_maxreg import SingleCASMaxRegister
+
+    for name in ("k", "n", "f"):
+        kwargs.pop(name, None)
+    return SingleCASMaxRegister(**kwargs)

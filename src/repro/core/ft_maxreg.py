@@ -117,3 +117,13 @@ class FTMaxRegister:
             self.n, self.f, self.initial_value, self.write_back
         )
         return self.kernel.add_client(client_id, protocol)
+
+    # Writers are unbounded; the writer/reader split below only serves the
+    # uniform Emulation surface (ops are write_max / read_max).
+
+    def add_writer(self, writer_index: int):
+        return self.add_client(ClientId(writer_index))
+
+    def add_reader(self):
+        client_id = ClientId(1000 + self._next_client)
+        return self.add_client(client_id)

@@ -104,10 +104,13 @@ class Lemma1Runner:
         F: "Optional[Set[ServerId]]" = None,
         check_lemma2: bool = True,
         max_steps_per_phase: int = 500_000,
+        scheduler=None,
     ):
         self.k = k
         self.f = f
-        self.emulation = emulation_factory(scheduler=RoundRobinScheduler())
+        self.emulation = emulation_factory(
+            scheduler=scheduler or RoundRobinScheduler()
+        )
         n = self.emulation.object_map.n_servers
         if F is None:
             F = {ServerId(i) for i in range(f + 1)}

@@ -1,0 +1,48 @@
+"""The parallel experiment engine.
+
+Turns the experiment registry (:mod:`repro.experiments`) into a
+parallel, resumable, cached grid runner:
+
+* :mod:`repro.exec.grid` — :class:`Cell` / :class:`Grid`: expand a
+  parameter space (including replicate seeds) into independent,
+  picklable work units; :func:`expand_experiment` shards registered
+  sweep experiments along their declared axis.
+* :mod:`repro.exec.cache` — :class:`ResultCache`: one JSON file per
+  cell under ``.repro_cache/``, keyed by a content hash of experiment
+  id + normalized kwargs + seed + code version, with hit/miss/store
+  accounting.
+* :mod:`repro.exec.engine` — :func:`execute_cell` (the single-cell
+  path everything routes through), :func:`run_cells` (serial loop or
+  crash-tolerant ``ProcessPoolExecutor`` fan-out with streamed per-cell
+  progress), :func:`merge_results` and :func:`run_experiment_grid`.
+
+The CLI flags ``--jobs`` / ``--no-cache`` / ``--refresh`` /
+``--cache-dir`` on ``repro experiment|sweep|ablate`` are thin wrappers
+over this package.
+"""
+
+from repro.exec.cache import ResultCache, cell_key, experiment_code_version
+from repro.exec.engine import (
+    CellOutcome,
+    EngineReport,
+    execute_cell,
+    merge_results,
+    run_cells,
+    run_experiment_grid,
+)
+from repro.exec.grid import Cell, Grid, expand_experiment
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "EngineReport",
+    "Grid",
+    "ResultCache",
+    "cell_key",
+    "execute_cell",
+    "expand_experiment",
+    "experiment_code_version",
+    "merge_results",
+    "run_cells",
+    "run_experiment_grid",
+]

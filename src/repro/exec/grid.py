@@ -1,0 +1,140 @@
+"""Grids and cells: the unit of parallel experiment execution.
+
+A :class:`Cell` is one independent experiment invocation — experiment id,
+keyword arguments, and an optional scheduler seed.  Cells are immutable,
+hashable and picklable, so they can key the on-disk result cache and
+cross process boundaries to pool workers.
+
+A :class:`Grid` is a cartesian parameter space over one experiment: base
+kwargs shared by every cell, named axes (kwarg name -> sequence of
+values), and optional replicate seeds.  ``Grid.cells()`` expands it into
+the cell list in deterministic order (axis insertion order, seeds
+innermost), which is also the merge order downstream.
+
+:func:`expand_experiment` covers the common case of sharding a registered
+sweep experiment (one declaring ``axis=...`` — see
+:func:`repro.experiments.experiment`) into one cell per axis value, so
+``T1-sweep`` fans out across ``k`` and ``TH1`` across ``n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def _freeze(value: Any) -> Any:
+    """Make a kwarg value hashable (lists/tuples -> tuples, dicts -> items)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    if isinstance(value, range):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment invocation: ``run(experiment_id, **kwargs)`` + seed."""
+
+    experiment_id: str
+    params: "Tuple[Tuple[str, Any], ...]" = ()
+    seed: "Optional[int]" = None
+
+    @classmethod
+    def make(
+        cls,
+        experiment_id: str,
+        params: "Optional[Mapping[str, Any]]" = None,
+        seed: "Optional[int]" = None,
+    ) -> "Cell":
+        """Build a cell; a ``seed`` key inside ``params`` moves to the slot."""
+        items = dict(params or {})
+        if "seed" in items:
+            seed = items.pop("seed") if seed is None else seed
+        return cls(
+            experiment_id,
+            tuple(sorted((k, _freeze(v)) for k, v in items.items())),
+            seed,
+        )
+
+    @property
+    def kwargs(self) -> "Dict[str, Any]":
+        """The keyword arguments to call the experiment with (no seed)."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        parts = [f"{k}={v!r}" for k, v in self.params]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        suffix = f" [{', '.join(parts)}]" if parts else ""
+        return f"{self.experiment_id}{suffix}"
+
+
+@dataclass
+class Grid:
+    """A cartesian parameter space over one experiment."""
+
+    experiment_id: str
+    base: "Dict[str, Any]" = field(default_factory=dict)
+    axes: "Dict[str, Sequence[Any]]" = field(default_factory=dict)
+    seeds: "Optional[Sequence[int]]" = None
+
+    def cells(self) -> "List[Cell]":
+        """Expand to cells, axes in insertion order, seeds innermost."""
+        names = list(self.axes)
+        value_lists = [list(self.axes[name]) for name in names]
+        seeds: "Sequence[Optional[int]]" = (
+            list(self.seeds) if self.seeds else [None]
+        )
+        cells = []
+        for combo in itertools.product(*value_lists):
+            params = dict(self.base)
+            params.update(zip(names, combo))
+            for seed in seeds:
+                cells.append(Cell.make(self.experiment_id, params, seed))
+        return cells
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total * (len(self.seeds) if self.seeds else 1)
+
+
+def expand_experiment(
+    experiment_id: str,
+    kwargs: "Optional[Mapping[str, Any]]" = None,
+    seed: "Optional[int]" = None,
+) -> "List[Cell]":
+    """Shard one experiment call into independent cells.
+
+    Experiments registered with a sweep ``axis`` expand into one cell per
+    axis value (each cell pins the axis kwarg to a one-element list);
+    everything else stays a single cell.  Merging the per-cell results in
+    this order with :func:`repro.exec.engine.merge_results` reproduces the
+    unsharded result row-for-row.
+    """
+    from repro.experiments import get_experiment
+
+    fn = get_experiment(experiment_id)
+    kwargs = dict(kwargs or {})
+    if "seed" in kwargs and seed is None:
+        seed = kwargs.pop("seed")
+    axis = getattr(fn, "grid_axis", None)
+    if axis is None:
+        return [Cell.make(experiment_id, kwargs, seed)]
+    if axis in kwargs:
+        values = list(kwargs.pop(axis))
+    else:
+        values = list(fn.grid_axis_default(dict(kwargs)))
+    cells = []
+    for value in values:
+        params = dict(kwargs)
+        params[axis] = [value]
+        cells.append(Cell.make(experiment_id, params, seed))
+    return cells

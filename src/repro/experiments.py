@@ -36,6 +36,9 @@ class ExperimentResult:
     headers: "Sequence[str]"
     rows: "List[List[Any]]"
     notes: str = ""
+    #: scheduler seed the artifact was produced with (``None`` for the
+    #: purely combinatorial experiments that simulate nothing).
+    seed: "Optional[int]" = None
 
     def render(self) -> str:
         text = render_table(self.headers, self.rows, title=self.title)
@@ -51,7 +54,25 @@ class ExperimentResult:
             "headers": list(self.headers),
             "rows": [[_jsonable(cell) for cell in row] for row in self.rows],
             "notes": self.notes,
+            "seed": self.seed,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result archived by :meth:`to_dict`.
+
+        Rendering round-trips byte-identically: cells that survive JSON
+        keep their type, and every other cell was already stringified the
+        same way :func:`render_table` would have.
+        """
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=payload.get("notes", ""),
+            seed=payload.get("seed"),
+        )
 
 
 def _jsonable(cell: Any) -> Any:
@@ -63,12 +84,24 @@ def _jsonable(cell: Any) -> Any:
 _REGISTRY: "Dict[str, Callable[..., ExperimentResult]]" = {}
 
 
-def experiment(experiment_id: str):
-    """Decorator registering an experiment under an id."""
+def experiment(experiment_id: str, axis: "Optional[str]" = None,
+               axis_default: "Optional[Callable[[dict], Sequence]]" = None):
+    """Decorator registering an experiment under an id.
+
+    ``axis`` names a keyword argument holding a sequence of independent
+    sweep points (``k_values``, ``n_values``, ...).  The parallel engine
+    (:mod:`repro.exec`) shards such experiments into one cell per axis
+    value and concatenates the row blocks back in axis order, which is
+    row-identical to the unsharded call.  ``axis_default`` computes the
+    default axis values from the remaining keyword arguments when the
+    caller did not pin the axis explicitly.
+    """
 
     def wrap(fn):
         _REGISTRY[experiment_id] = fn
         fn.experiment_id = experiment_id
+        fn.grid_axis = axis
+        fn.grid_axis_default = axis_default
         return fn
 
     return wrap
@@ -78,15 +111,34 @@ def list_experiments() -> "List[str]":
     return sorted(_REGISTRY)
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    try:
-        fn = _REGISTRY[experiment_id]
-    except KeyError:
+def get_experiment(experiment_id: str) -> "Callable[..., ExperimentResult]":
+    """Resolve a registry id (or a function-name alias) to its callable."""
+    fn = _REGISTRY.get(experiment_id)
+    if fn is None:
+        # Accept the function name as an alias: ``table1_sweep`` == T1-sweep.
+        for candidate in _REGISTRY.values():
+            if candidate.__name__ == experiment_id:
+                return candidate
         raise ValueError(
             f"unknown experiment {experiment_id!r};"
             f" known: {', '.join(list_experiments())}"
-        ) from None
-    return fn(**kwargs)
+        )
+    return fn
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment through the execution engine (serial, uncached).
+
+    This is the single-cell path of :mod:`repro.exec` — the same code the
+    parallel grid engine runs in its workers — so library calls, the CLI
+    and pool workers all execute experiments identically.  Exceptions
+    (unknown ids, violated claims) propagate to the caller unchanged.
+    """
+    from repro.exec.engine import execute_cell
+    from repro.exec.grid import Cell
+
+    outcome = execute_cell(Cell.make(experiment_id, kwargs))
+    return outcome.result
 
 
 # ---------------------------------------------------------------------------
@@ -94,15 +146,17 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
 
 
 @experiment("T1")
-def table1(k: int = 4, n: int = 7, f: int = 2) -> ExperimentResult:
+def table1(k: int = 4, n: int = 7, f: int = 2, seed: int = 0) -> ExperimentResult:
     """Table 1 with the register row measured on a deployed Algorithm 2."""
     from repro.core.abd import ABDEmulation
     from repro.core.cas_maxreg import CASABDEmulation
 
     measured = {}
-    maxreg = ABDEmulation(n=2 * f + 1, f=f, scheduler=RandomScheduler(0))
-    cas = CASABDEmulation(n=2 * f + 1, f=f, scheduler=RandomScheduler(0))
-    registers = WSRegisterEmulation(k=k, n=n, f=f, scheduler=RandomScheduler(0))
+    maxreg = ABDEmulation(n=2 * f + 1, f=f, scheduler=RandomScheduler(seed))
+    cas = CASABDEmulation(n=2 * f + 1, f=f, scheduler=RandomScheduler(seed))
+    registers = WSRegisterEmulation(
+        k=k, n=n, f=f, scheduler=RandomScheduler(seed)
+    )
     for emulation, name in (
         (maxreg, "max-register"),
         (cas, "cas"),
@@ -121,11 +175,23 @@ def table1(k: int = 4, n: int = 7, f: int = 2) -> ExperimentResult:
         f"Table 1 — resource complexity (k={k}, n={n}, f={f})",
         ["base object", "lower", "upper", "measured"],
         rows,
+        seed=seed,
     )
 
 
-@experiment("T1-sweep")
-def table1_sweep(n: int = 7, f: int = 2, k_max: int = 8) -> ExperimentResult:
+@experiment(
+    "T1-sweep",
+    axis="k_values",
+    axis_default=lambda kw: list(range(1, kw.get("k_max", 8) + 1)),
+)
+def table1_sweep(
+    n: int = 7,
+    f: int = 2,
+    k_max: int = 8,
+    k_values: "Optional[Sequence[int]]" = None,
+) -> ExperimentResult:
+    if k_values is None:
+        k_values = range(1, k_max + 1)
     rows = [
         [
             k,
@@ -133,7 +199,7 @@ def table1_sweep(n: int = 7, f: int = 2, k_max: int = 8) -> ExperimentResult:
             bounds.register_lower_bound(k, n, f),
             WSRegisterEmulation(k=k, n=n, f=f).layout.total_registers,
         ]
-        for k in range(1, k_max + 1)
+        for k in k_values
     ]
     return ExperimentResult(
         "T1-sweep",
@@ -165,11 +231,17 @@ def figure1(k: int = 5, n: int = 6, f: int = 2) -> ExperimentResult:
 
 
 @experiment("L1")
-def lemma1_growth(k: int = 5, n: int = 7, f: int = 2) -> ExperimentResult:
+def lemma1_growth(
+    k: int = 5, n: int = 7, f: int = 2, seed: "Optional[int]" = None
+) -> ExperimentResult:
     def factory(scheduler):
         return WSRegisterEmulation(k=k, n=n, f=f, scheduler=scheduler)
 
-    runner = Lemma1Runner(factory, k=k, f=f)
+    # seed=None keeps the deterministic fair round-robin of the proof;
+    # a seed re-runs the construction under that seeded random scheduler
+    # (the claims are scheduler-independent — Ad_i does the forcing).
+    scheduler = None if seed is None else RandomScheduler(seed)
+    runner = Lemma1Runner(factory, k=k, f=f, scheduler=scheduler)
     runner.run()
     runner.assert_all_claims()
     rows = [
@@ -198,6 +270,7 @@ def lemma1_growth(k: int = 5, n: int = 7, f: int = 2) -> ExperimentResult:
             "contention",
         ],
         rows,
+        seed=seed,
     )
 
 
@@ -205,10 +278,19 @@ def lemma1_growth(k: int = 5, n: int = 7, f: int = 2) -> ExperimentResult:
 # Theorems
 
 
-@experiment("TH1")
-def theorem1_sweep(k: int = 4, f: int = 2) -> ExperimentResult:
+def _th1_default_n_values(kw: dict) -> "List[int]":
+    k, f = kw.get("k", 4), kw.get("f", 2)
+    return list(range(2 * f + 1, bounds.saturation_n(k, f) + 3))
+
+
+@experiment("TH1", axis="n_values", axis_default=_th1_default_n_values)
+def theorem1_sweep(
+    k: int = 4, f: int = 2, n_values: "Optional[Sequence[int]]" = None
+) -> ExperimentResult:
+    if n_values is None:
+        n_values = _th1_default_n_values({"k": k, "f": f})
     rows = []
-    for n in range(2 * f + 1, bounds.saturation_n(k, f) + 3):
+    for n in n_values:
         lower = bounds.register_lower_bound(k, n, f)
         upper = bounds.register_upper_bound(k, n, f)
         measured = WSRegisterEmulation(k=k, n=n, f=f).layout.total_registers
@@ -221,14 +303,20 @@ def theorem1_sweep(k: int = 4, f: int = 2) -> ExperimentResult:
     )
 
 
-@experiment("TH2")
-def theorem2(k_values: "Sequence[int]" = (1, 2, 4, 8, 16)) -> ExperimentResult:
+@experiment(
+    "TH2",
+    axis="k_values",
+    axis_default=lambda kw: [1, 2, 4, 8, 16],
+)
+def theorem2(
+    k_values: "Sequence[int]" = (1, 2, 4, 8, 16), seed: int = 1
+) -> ExperimentResult:
     from repro.core.collect_maxreg import CollectMaxRegister
 
     rows = []
     for k in k_values:
         register = CollectMaxRegister(
-            k=k, initial_value=0, scheduler=RandomScheduler(1)
+            k=k, initial_value=0, scheduler=RandomScheduler(seed)
         )
         rows.append(
             [k, bounds.k_max_register_lower_bound(k), register.total_registers]
@@ -238,10 +326,13 @@ def theorem2(k_values: "Sequence[int]" = (1, 2, 4, 8, 16)) -> ExperimentResult:
         "Theorem 2 — k-writer max-register space",
         ["k", "lower bound", "construction registers"],
         rows,
+        seed=seed,
     )
 
 
-@experiment("TH5")
+@experiment(
+    "TH5", axis="f_values", axis_default=lambda kw: [1, 2, 3]
+)
 def theorem5(f_values: "Sequence[int]" = (1, 2, 3)) -> ExperimentResult:
     from repro.core.theorem5 import partition_violation
 
@@ -299,7 +390,11 @@ def theorem6(k: int = 3, f: int = 1) -> ExperimentResult:
     )
 
 
-@experiment("TH7")
+@experiment(
+    "TH7",
+    axis="capacities",
+    axis_default=lambda kw: [1, 2, 3, 4, 6, 12, 24],
+)
 def theorem7(
     k: int = 6, f: int = 2, capacities: "Sequence[int]" = (1, 2, 3, 4, 6, 12, 24)
 ) -> ExperimentResult:
@@ -350,16 +445,21 @@ def theorem8(k: int = 6, n: int = 9, f: int = 2) -> ExperimentResult:
 # Appendix B and the ablations
 
 
-@experiment("B1")
+@experiment(
+    "B1",
+    axis="update_counts",
+    axis_default=lambda kw: [1, 2, 4, 8, 16, 32],
+)
 def cas_time_complexity(
     update_counts: "Sequence[int]" = (1, 2, 4, 8, 16, 32),
+    seed: int = 0,
 ) -> ExperimentResult:
     from repro.core.cas_maxreg import SingleCASMaxRegister
 
     rows = []
     for n_updates in update_counts:
         register = SingleCASMaxRegister(
-            initial_value=0, scheduler=RandomScheduler(0)
+            initial_value=0, scheduler=RandomScheduler(seed)
         )
         client = register.add_client()
         for value in range(1, n_updates + 1):
@@ -373,6 +473,7 @@ def cas_time_complexity(
         "Appendix B — CAS max-register loop iterations vs monotone updates",
         ["updates", "CAS loop iterations"],
         rows,
+        seed=seed,
     )
 
 
@@ -420,7 +521,7 @@ def separation(k: int = 6, f: int = 2) -> ExperimentResult:
 
 @experiment("OQ")
 def open_question_probe(
-    k: int = 2, n: int = 5, f: int = 2, samples: int = 10
+    k: int = 2, n: int = 5, f: int = 2, samples: int = 10, seed: int = 0
 ) -> ExperimentResult:
     """Probe the open tightness question: Algorithm 2 under concurrent
     writes vs the stronger [34] regularity conditions."""
@@ -430,9 +531,9 @@ def open_question_probe(
     )
 
     weak = strong = 0
-    for seed in range(samples):
+    for sample in range(samples):
         emu = WSRegisterEmulation(
-            k=k, n=n, f=f, scheduler=RandomScheduler(seed)
+            k=k, n=n, f=f, scheduler=RandomScheduler(seed + sample)
         )
         writers = [emu.add_writer(i) for i in range(k)]
         readers = [emu.add_reader() for _ in range(2)]
@@ -457,30 +558,50 @@ def open_question_probe(
             "zero violations = empirical evidence (not proof) that the"
             " space bound stays tight for the stronger conditions"
         ),
+        seed=seed,
     )
 
 
-@experiment("ABL")
-def ablations() -> ExperimentResult:
-    from repro.core.ablation import (
-        baseline_no_violation,
-        cover_avoidance_violation,
-        small_quorum_violation,
-    )
+#: ablation variant key -> (table label, function name in repro.core.ablation)
+_ABLATION_VARIANTS = {
+    "intact": ("Algorithm 2 (intact)", "baseline_no_violation"),
+    "no-cover-avoidance": ("no cover avoidance", "cover_avoidance_violation"),
+    "small-quorum": ("write quorum |R|-f-1", "small_quorum_violation"),
+}
 
+
+@experiment(
+    "ABL",
+    axis="variants",
+    axis_default=lambda kw: list(_ABLATION_VARIANTS),
+)
+def ablations(
+    variants: "Optional[Sequence[str]]" = None,
+) -> ExperimentResult:
+    from repro.core import ablation
+
+    if variants is None:
+        variants = list(_ABLATION_VARIANTS)
     rows = []
-    for name, fn in (
-        ("Algorithm 2 (intact)", baseline_no_violation),
-        ("no cover avoidance", cover_avoidance_violation),
-        ("write quorum |R|-f-1", small_quorum_violation),
-    ):
-        violations = fn()
+    for variant in variants:
+        try:
+            name, fn_name = _ABLATION_VARIANTS[variant]
+        except KeyError:
+            raise ValueError(
+                f"unknown ablation variant {variant!r};"
+                f" known: {', '.join(_ABLATION_VARIANTS)}"
+            ) from None
+        violations = getattr(ablation, fn_name)()
         rows.append(
-            [name, "SAFE" if not violations else "WS-Safety VIOLATED"]
+            [
+                name,
+                "SAFE" if not violations else "WS-Safety VIOLATED",
+                str(violations[0]) if violations else "-",
+            ]
         )
     return ExperimentResult(
         "ABL",
         "Ablations — Algorithm 2 mechanisms under the covering adversary",
-        ["variant", "outcome"],
+        ["variant", "outcome", "detail"],
         rows,
     )

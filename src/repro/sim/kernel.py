@@ -133,6 +133,18 @@ class RunResult:
         return self.reason == "until"
 
 
+#: Process-wide count of kernel steps executed via :meth:`Kernel.run`,
+#: across every kernel instance.  The parallel experiment engine
+#: (:mod:`repro.exec`) reads deltas of this to report how much simulation
+#: each cell actually performed — a cache hit shows up as zero steps.
+_TOTAL_STEPS = 0
+
+
+def steps_simulated() -> int:
+    """Total steps run by any kernel in this process (monotone)."""
+    return _TOTAL_STEPS
+
+
 #: (EventListener hook name, Kernel subscriber-list attribute).
 _HOOK_ATTRS = (
     ("on_trigger", "_subs_trigger"),
@@ -232,6 +244,28 @@ class Kernel:
             if getattr(bound, "__func__", bound) is base:
                 continue  # not overridden — never dispatch to it
             getattr(self, attr).append(bound)
+
+    def remove_listener(self, listener: EventListener) -> None:
+        """Unsubscribe a listener added with :meth:`add_listener`.
+
+        Reverses the pre-bound dispatch registration too (bound methods
+        compare equal by ``__self__``/``__func__``, so the hooks captured
+        at add time are found again here).  Raises ``ValueError`` if the
+        listener was never added.
+        """
+        self.listeners.remove(listener)
+        for hook, attr in _HOOK_ATTRS:
+            bound = getattr(listener, hook, None)
+            if bound is None:
+                continue
+            base = getattr(EventListener, hook)
+            if getattr(bound, "__func__", bound) is base:
+                continue
+            subs = getattr(self, attr)
+            try:
+                subs.remove(bound)
+            except ValueError:
+                pass  # hook was attached after add_listener — never bound
 
     # -- incremental client bookkeeping ---------------------------------------
 
@@ -514,24 +548,28 @@ class Kernel:
         """
         collect = self._collect_enabled if incremental else self.enabled_actions
         steps = 0
-        while steps < max_steps:
+        try:
+            while steps < max_steps:
+                if until is not None and until(self):
+                    return RunResult(steps, "until")
+                enabled = collect()
+                if not enabled:
+                    return RunResult(steps, "quiescent")
+                allowed = self._filter_allowed(enabled)
+                if not allowed:
+                    if self.environment.on_stall(self):
+                        allowed = self._filter_allowed(collect())
+                    if not allowed:
+                        return RunResult(steps, "blocked")
+                action = self.scheduler.choose(allowed, self)
+                self.execute(action)
+                steps += 1
             if until is not None and until(self):
                 return RunResult(steps, "until")
-            enabled = collect()
-            if not enabled:
-                return RunResult(steps, "quiescent")
-            allowed = self._filter_allowed(enabled)
-            if not allowed:
-                if self.environment.on_stall(self):
-                    allowed = self._filter_allowed(collect())
-                if not allowed:
-                    return RunResult(steps, "blocked")
-            action = self.scheduler.choose(allowed, self)
-            self.execute(action)
-            steps += 1
-        if until is not None and until(self):
-            return RunResult(steps, "until")
-        return RunResult(steps, "max_steps")
+            return RunResult(steps, "max_steps")
+        finally:
+            global _TOTAL_STEPS
+            _TOTAL_STEPS += steps
 
     # -- queries used by analysis/adversaries -----------------------------------------------
 

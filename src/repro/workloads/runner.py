@@ -1,14 +1,16 @@
 """Execute a workload against an emulation and collect metrics.
 
-Works with any emulation exposing ``kernel``, ``object_map``, ``history``,
-``add_writer(index)`` and ``add_reader()`` (all the emulations in
-:mod:`repro.core` do).
+Works with anything satisfying the :class:`~repro.core.emulation.Emulation`
+protocol (``kernel`` / ``object_map`` / ``history`` / ``add_writer(index)``
+/ ``add_reader()`` — every emulation in :mod:`repro.core` conforms), or
+with an :class:`~repro.core.emulation.EmulationSpec`, which the runner
+builds first (handy across process boundaries, where only specs travel).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.analysis.resources import (
     PointContentionMeter,
@@ -17,6 +19,9 @@ from repro.analysis.resources import (
 )
 from repro.sim.history import History
 from repro.workloads.generators import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.emulation import Emulation, EmulationSpec
 
 
 @dataclass
@@ -29,6 +34,9 @@ class RunReport:
     steps: StepMeter
     total_steps: int
     completed_rounds: int
+    #: the emulation the workload ran on (useful when a spec was passed
+    #: and the deployment was built inside the runner).
+    emulation: Any = None
 
     @property
     def resource_consumption(self) -> int:
@@ -40,54 +48,73 @@ class RunReport:
 
 
 def run_workload(
-    emulation,
+    emulation: "Union[Emulation, EmulationSpec]",
     workload: Workload,
     max_steps_per_round: int = 200_000,
     crash_plan=None,
 ) -> RunReport:
     """Run every round of ``workload`` to quiescence on ``emulation``.
 
+    ``emulation`` may be a deployed emulation or an
+    :class:`~repro.core.emulation.EmulationSpec` (built here).
     ``crash_plan`` (a :class:`~repro.sim.failures.CrashPlan`) is installed
     before the first round, so crashes fire at their scheduled steps while
     the workload executes.
+
+    The meters subscribe to the kernel only for the duration of the call:
+    they are detached on the way out, so running several workloads against
+    one emulation never double-counts metrics.
     """
+    from repro.core.emulation import EmulationSpec
+
+    if isinstance(emulation, EmulationSpec):
+        emulation = emulation.build()
     kernel = emulation.kernel
     if crash_plan is not None:
         crash_plan.install(kernel)
     resource = ResourceMeter(emulation.object_map)
     contention = PointContentionMeter()
     steps = StepMeter()
-    for meter in (resource, contention, steps):
+    meters = (resource, contention, steps)
+    for meter in meters:
         kernel.add_listener(meter)
 
-    writers = {
-        index: emulation.add_writer(index)
-        for index in workload.writer_indices
-    }
-    readers = {
-        index: emulation.add_reader() for index in workload.reader_indices
-    }
+    try:
+        writers = {
+            index: emulation.add_writer(index)
+            for index in workload.writer_indices
+        }
+        readers = {
+            index: emulation.add_reader() for index in workload.reader_indices
+        }
 
-    # The client set is fixed for the whole workload: build the list once
-    # instead of on every step of every round inside the until-predicate.
-    live = list(writers.values()) + list(readers.values())
+        # The client set is fixed for the whole workload: build the list once
+        # instead of on every step of every round inside the until-predicate.
+        live = list(writers.values()) + list(readers.values())
 
-    def _round_done(k) -> bool:
-        return all(c.crashed or (c.idle and not c.program) for c in live)
+        def _round_done(k) -> bool:
+            return all(c.crashed or (c.idle and not c.program) for c in live)
 
-    total_steps = 0
-    completed_rounds = 0
-    for round_ops in workload.rounds:
-        for invocation in round_ops:
-            kind, index = invocation.client
-            runtime = writers[index] if kind == "writer" else readers[index]
-            runtime.enqueue(invocation.name, *invocation.args)
+        total_steps = 0
+        completed_rounds = 0
+        for round_ops in workload.rounds:
+            for invocation in round_ops:
+                kind, index = invocation.client
+                runtime = (
+                    writers[index] if kind == "writer" else readers[index]
+                )
+                runtime.enqueue(invocation.name, *invocation.args)
 
-        result = kernel.run(max_steps=max_steps_per_round, until=_round_done)
-        total_steps += result.steps
-        if not result.satisfied:
-            break
-        completed_rounds += 1
+            result = kernel.run(
+                max_steps=max_steps_per_round, until=_round_done
+            )
+            total_steps += result.steps
+            if not result.satisfied:
+                break
+            completed_rounds += 1
+    finally:
+        for meter in meters:
+            kernel.remove_listener(meter)
 
     return RunReport(
         history=emulation.history,
@@ -96,4 +123,5 @@ def run_workload(
         steps=steps,
         total_steps=total_steps,
         completed_rounds=completed_rounds,
+        emulation=emulation,
     )

@@ -1,0 +1,81 @@
+"""Every repro.core emulation satisfies the Emulation protocol, and
+EmulationSpec rebuilds identical deployments across a pickle boundary."""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    Emulation,
+    EmulationSpec,
+    algorithm_names,
+)
+from repro.workloads import run_workload, write_sequential_workload
+
+#: algorithm name -> spec kwargs that build a small deployment
+SPECS = {
+    "ws-register": dict(k=2, n=5, f=2),
+    "abd": dict(n=3, f=1),
+    "cas-abd": dict(n=3, f=1),
+    "replicated-maxreg": dict(k=2, n=3, f=1),
+    "collect-maxreg": dict(k=2),
+    "ft-maxreg": dict(n=3, f=1),
+    "single-cas": dict(),
+}
+
+
+class TestProtocolConformance:
+    def test_every_registered_algorithm_is_covered(self):
+        assert set(SPECS) == set(algorithm_names())
+
+    @pytest.mark.parametrize("algorithm", sorted(SPECS))
+    def test_built_emulation_satisfies_protocol(self, algorithm):
+        emu = EmulationSpec.make(algorithm, **SPECS[algorithm]).build()
+        assert isinstance(emu, Emulation)
+
+    @pytest.mark.parametrize("algorithm", sorted(SPECS))
+    def test_surface_is_usable(self, algorithm):
+        emu = EmulationSpec.make(algorithm, **SPECS[algorithm]).build()
+        assert emu.kernel is not None
+        assert emu.object_map is not None
+        assert emu.history is not None
+        assert emu.system is not None
+        emu.add_writer(0)
+        emu.add_reader()
+
+    def test_arbitrary_object_is_not_an_emulation(self):
+        assert not isinstance(object(), Emulation)
+
+
+class TestEmulationSpec:
+    def test_make_routes_unknown_kwargs_to_options(self):
+        spec = EmulationSpec.make("abd", n=3, f=1, write_back=False)
+        assert spec.n == 3 and spec.f == 1
+        assert spec.options == (("write_back", False),)
+        assert spec.build().write_back is False
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = EmulationSpec.make("ws-register", k=2, n=5, f=2, seed=3)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_unknown_algorithm_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="ws-register"):
+            EmulationSpec("made-up").build()
+
+    def test_seeded_specs_rebuild_identical_runs(self):
+        workload = write_sequential_workload(k=2, writes_per_writer=3)
+        spec = EmulationSpec.make("ws-register", k=2, n=5, f=2, seed=11)
+        first = run_workload(spec, workload)
+        second = run_workload(spec, workload)
+        assert first.history.to_dicts() == second.history.to_dicts()
+        assert first.total_steps == second.total_steps
+
+    def test_run_workload_accepts_spec_directly(self):
+        workload = write_sequential_workload(k=1, writes_per_writer=2)
+        report = run_workload(
+            EmulationSpec.make("abd", n=3, f=1, seed=0), workload
+        )
+        assert report.emulation is not None
+        assert isinstance(report.emulation, Emulation)

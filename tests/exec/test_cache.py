@@ -1,0 +1,83 @@
+"""Persistent result cache: keying, hit/miss/refresh semantics."""
+
+import json
+
+from repro.exec.cache import ResultCache, cell_key, experiment_code_version
+from repro.exec.engine import CACHED, OK, execute_cell
+from repro.exec.grid import Cell
+
+
+def _cell(**kwargs):
+    return Cell.make("TH2", {"k_values": (2,), **kwargs})
+
+
+class TestKeys:
+    def test_key_stable_for_equal_cells(self):
+        assert cell_key(_cell()) == cell_key(_cell())
+
+    def test_key_changes_with_params(self):
+        assert cell_key(_cell()) != cell_key(
+            Cell.make("TH2", {"k_values": (3,)})
+        )
+
+    def test_key_changes_with_seed(self):
+        assert cell_key(_cell()) != cell_key(_cell(seed=5))
+
+    def test_key_changes_with_code_version(self):
+        assert cell_key(_cell(), "deadbeef") != cell_key(_cell(), "cafef00d")
+
+    def test_code_version_is_memoized_hex(self):
+        version = experiment_code_version("TH2")
+        assert version == experiment_code_version("TH2")
+        int(version, 16)  # sha256 hex
+
+
+class TestCacheSemantics:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = _cell()
+        assert cache.load(cell) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+        outcome = execute_cell(cell, cache=cache)
+        assert outcome.status == OK
+        assert cache.stores == 1
+        assert len(cache) == 1
+
+        hit = execute_cell(cell, cache=cache)
+        assert hit.status == CACHED
+        assert hit.steps == 0
+        assert cache.hits == 1
+        assert hit.result.render() == outcome.result.render()
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = _cell()
+        execute_cell(cell, cache=cache)
+        refreshed = execute_cell(cell, cache=cache, refresh=True)
+        assert refreshed.status == OK  # ran again, did not serve the entry
+        assert cache.stores == 2
+        assert len(cache) == 1  # overwrote, not duplicated
+
+    def test_entries_are_valid_json_with_result(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = _cell()
+        execute_cell(cell, cache=cache)
+        (path,) = (tmp_path / "cache").glob("*/*.json")
+        payload = json.loads(path.read_text())
+        assert payload["result"]["experiment_id"] == "TH2"
+        assert "steps" in payload and "elapsed" in payload
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = _cell()
+        path = cache.store(cell, {"result": {}})
+        path.write_text("{not json")
+        assert cache.load(cell) is None
+        assert cache.misses == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        execute_cell(_cell(), cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0

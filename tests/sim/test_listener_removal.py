@@ -1,0 +1,108 @@
+"""remove_listener reverses pre-bound dispatch; meters don't leak."""
+
+import pytest
+
+from tests.conftest import ToyProtocol
+
+from repro.analysis.resources import StepMeter
+from repro.core import EmulationSpec
+from repro.sim.events import EventListener
+from repro.sim.ids import ClientId
+from repro.sim.kernel import _HOOK_ATTRS
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.system import build_system
+from repro.workloads import run_workload, write_sequential_workload
+from repro.workloads.generators import Invocation, Workload
+
+
+def _system(seed=0):
+    return build_system(
+        1, [(0, "register", None)], scheduler=RandomScheduler(seed)
+    )
+
+
+class _StepCounter(EventListener):
+    def __init__(self):
+        self.steps = 0
+
+    def on_step(self, event):
+        self.steps += 1
+
+
+class TestRemoveListener:
+    def test_removed_listener_receives_no_further_events(self):
+        system = _system()
+        counter = _StepCounter()
+        system.kernel.add_listener(counter)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        seen = counter.steps
+        assert seen > 0
+
+        system.kernel.remove_listener(counter)
+        client.enqueue("write", 2)
+        system.run_to_quiescence()
+        assert counter.steps == seen
+
+    def test_prebound_hook_lists_are_emptied(self):
+        system = _system()
+        counter = _StepCounter()
+        system.kernel.add_listener(counter)
+        assert any(getattr(system.kernel, attr) for _, attr in _HOOK_ATTRS)
+        system.kernel.remove_listener(counter)
+        assert counter not in system.kernel.listeners
+        for _, attr in _HOOK_ATTRS:
+            subs = getattr(system.kernel, attr)
+            assert all(getattr(s, "__self__", None) is not counter for s in subs)
+
+    def test_removing_unknown_listener_raises(self):
+        system = _system()
+        with pytest.raises(ValueError):
+            system.kernel.remove_listener(_StepCounter())
+
+    def test_other_listeners_survive_removal(self):
+        system = _system()
+        first, second = _StepCounter(), _StepCounter()
+        system.kernel.add_listener(first)
+        system.kernel.add_listener(second)
+        system.kernel.remove_listener(first)
+        client = system.add_client(ClientId(0), ToyProtocol())
+        client.enqueue("write", 1)
+        system.run_to_quiescence()
+        assert first.steps == 0
+        assert second.steps > 0
+
+
+class TestRunnerDetachesMeters:
+    def test_meters_detached_even_without_reuse(self):
+        emu = EmulationSpec.make("ws-register", k=1, n=3, f=1).build()
+        run_workload(emu, write_sequential_workload(k=1, writes_per_writer=1))
+        assert not any(
+            isinstance(listener, StepMeter)
+            for listener in emu.kernel.listeners
+        )
+
+    def test_back_to_back_runs_do_not_accumulate_meters(self):
+        """Before the fix, each run_workload left its three meters attached
+        forever, so repeated runs piled up listeners (and leaked work into
+        stale meters).  History listeners installed by the emulation itself
+        must survive untouched."""
+        emu = EmulationSpec.make("ws-register", k=2, n=5, f=2, seed=0).build()
+        baseline = list(emu.kernel.listeners)
+        for writer in (0, 1):  # distinct clients; one emulation throughout
+            workload = Workload(
+                rounds=[[Invocation(("writer", writer), "write", (writer,))]]
+            )
+            run_workload(emu, workload)
+        assert emu.kernel.listeners == baseline
+
+    def test_meters_detached_on_failure_paths(self):
+        emu = EmulationSpec.make("ws-register", k=1, n=3, f=1).build()
+        baseline = list(emu.kernel.listeners)
+        emu.add_writer(0)  # makes the runner's own add_writer(0) collide
+        with pytest.raises(ValueError):
+            run_workload(
+                emu, write_sequential_workload(k=1, writes_per_writer=1)
+            )
+        assert emu.kernel.listeners == baseline

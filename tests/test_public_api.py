@@ -10,11 +10,16 @@ class TestTopLevelSurface:
         "ABDEmulation",
         "AdversaryAdi",
         "CASABDEmulation",
+        "Cell",
         "CollectMaxRegister",
         "ConfigService",
         "CoveringTracker",
+        "Emulation",
+        "EmulationSpec",
         "EpochService",
+        "ExperimentResult",
         "FTMaxRegister",
+        "Grid",
         "InstallRaced",
         "KVConfig",
         "Lemma1Runner",
@@ -22,6 +27,7 @@ class TestTopLevelSurface:
         "RegisterLayout",
         "ReplicatedKVStore",
         "ReplicatedMaxRegisterEmulation",
+        "ResultCache",
         "SingleCASMaxRegister",
         "VerificationReport",
         "WSRegisterEmulation",
@@ -30,6 +36,8 @@ class TestTopLevelSurface:
         "check_ws_safe",
         "is_linearizable",
         "is_register_history_atomic",
+        "run_experiment",
+        "run_experiment_grid",
         "run_workload",
         "verify_run",
         "write_sequential_workload",
@@ -50,6 +58,7 @@ class TestTopLevelSurface:
         import repro.apps
         import repro.consistency
         import repro.core
+        import repro.exec
         import repro.sim
         import repro.workloads
 
@@ -58,6 +67,7 @@ class TestTopLevelSurface:
             repro.apps,
             repro.consistency,
             repro.core,
+            repro.exec,
             repro.sim,
             repro.workloads,
         ):
