@@ -21,7 +21,7 @@ than surfacing later as a checker violation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from repro.sim.events import (
     EventListener,

@@ -12,8 +12,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Set
 
 from repro.sim.events import (
     EventListener,
@@ -22,7 +21,7 @@ from repro.sim.events import (
     ReturnEvent,
     TriggerEvent,
 )
-from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.ids import ObjectId, ServerId
 from repro.sim.server import ObjectMap
 
 

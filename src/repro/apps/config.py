@@ -23,11 +23,11 @@ claimed through ``write_max`` and verified by a re-read.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.apps.epoch import EpochService
 from repro.core.abd import ABDEmulation
-from repro.sim.scheduling import RandomScheduler, Scheduler
+from repro.sim.scheduling import RandomScheduler
 
 
 class InstallRaced(RuntimeError):

@@ -236,6 +236,56 @@ def cmd_experiment(args) -> int:
     return 1 if report.failed else 0
 
 
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.lint import (
+        Baseline,
+        lint_paths,
+        render_json,
+        render_rules,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if os.path.exists(args.baseline):
+            baseline = Baseline.load(args.baseline)
+        elif args.baseline != "lint-baseline.json":
+            print(
+                f"error: baseline file not found: {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        result = lint_paths(args.paths or ["src"], baseline=baseline)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        Baseline.from_findings(result.active).save(args.baseline)
+        print(
+            f"wrote {len(result.active)} entr(y/ies) to {args.baseline};"
+            " replace the placeholder reasons before committing",
+            file=sys.stderr,
+        )
+        return 0
+    if args.json:
+        payload = render_json(result)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    text = render_text(result, verbose=args.verbose)
+    if args.json != "-":
+        print(text)
+    return 0 if result.ok and not result.stale_baseline else 1
+
+
 def cmd_demo(args) -> int:
     emu = WSRegisterEmulation(
         k=1, n=5, f=2, scheduler=RandomScheduler(args.seed)
@@ -315,6 +365,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p_exp)
     _add_engine_flags(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
+
+    p_lint = sub.add_parser(
+        "lint", help="simulation-discipline static analysis (R001-R006)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--json",
+        metavar="PATH",
+        help='write the JSON findings report to PATH ("-" for stdout)',
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        metavar="PATH",
+        help="baseline file of grandfathered findings",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline file",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    p_lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show suppressed and baselined findings",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_demo = sub.add_parser("demo", help="quick write/read/crash demo")
     _add_seed(p_demo, default=0)

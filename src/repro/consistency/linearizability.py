@@ -18,7 +18,7 @@ constrained, so in practice this is fast.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.consistency.specs import SequentialSpec
 from repro.sim.history import HistoryOp
@@ -57,7 +57,6 @@ def find_linearization(
     for i, op in enumerate(ops):
         if op.complete:
             complete_mask |= 1 << i
-    full = (1 << n) - 1
 
     # Memoize failed (done-set, state-key) pairs.
     failed: "set[Tuple[int, Hashable]]" = set()

@@ -15,7 +15,7 @@ in the worst case.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.consistency.linearizability import is_linearizable
 from repro.consistency.specs import RegisterSpec

@@ -19,7 +19,7 @@ schedule-level tests check for well-nesting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.sim.history import History, HistoryOp
 from repro.sim.ids import ClientId
@@ -83,7 +83,10 @@ class ScheduleEvent:
 
     def __str__(self) -> str:
         if self.kind == "invoke":
-            return f"{self.time}: inv {self.op.name}{self.op.args} by {self.op.client_id}"
+            return (
+                f"{self.time}: inv {self.op.name}{self.op.args}"
+                f" by {self.op.client_id}"
+            )
         return (
             f"{self.time}: res {self.op.name} -> {self.op.result!r}"
             f" by {self.op.client_id}"

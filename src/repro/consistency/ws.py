@@ -28,7 +28,7 @@ linearizability search (used in the test suite to validate the fast path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Set
+from typing import Any, List
 
 from repro.consistency.linearizability import is_linearizable
 from repro.consistency.specs import RegisterSpec

@@ -23,7 +23,7 @@ The number of writers is unbounded (no dependence on ``k``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.sim.client import ClientProtocol, Context
 from repro.sim.history import History

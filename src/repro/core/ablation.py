@@ -24,13 +24,12 @@ mechanisms is not an artifact of the algorithm but of the problem.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Set
+from typing import Any, List, Optional
 
 from repro.consistency.ws import WSViolation, check_ws_safe
 from repro.core.ws_register import WSRegisterClient, WSRegisterEmulation
 from repro.sim.client import Context
-from repro.sim.history import History
-from repro.sim.ids import ObjectId, ServerId
+from repro.sim.ids import ObjectId
 from repro.sim.kernel import Action, ActionKind, Environment, Kernel
 from repro.sim.objects import LowLevelOp, OpKind
 from repro.sim.scheduling import RoundRobinScheduler

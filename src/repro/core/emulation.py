@@ -26,7 +26,7 @@ The algorithm registry maps stable names to constructors::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,

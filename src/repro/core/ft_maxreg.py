@@ -17,7 +17,7 @@ the minimum server count, independent of the number of writers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.sim.client import ClientProtocol, Context
 from repro.sim.history import History

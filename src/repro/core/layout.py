@@ -21,7 +21,7 @@ columns of five registers over six servers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core import bounds
 from repro.sim.ids import ObjectId, ServerId

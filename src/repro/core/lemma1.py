@@ -35,13 +35,13 @@ grows by ``f`` per write — no function of contention bounds it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.core.adversary import AdversaryAdi
 from repro.core.covering import CoveringTracker
 from repro.sim.events import EventListener
-from repro.sim.ids import ClientId, ObjectId, ServerId
+from repro.sim.ids import ServerId
 from repro.sim.scheduling import RoundRobinScheduler
 
 
@@ -111,7 +111,6 @@ class Lemma1Runner:
         self.emulation = emulation_factory(
             scheduler=scheduler or RoundRobinScheduler()
         )
-        n = self.emulation.object_map.n_servers
         if F is None:
             F = {ServerId(i) for i in range(f + 1)}
         if len(F) != f + 1:
@@ -141,7 +140,6 @@ class Lemma1Runner:
 
         writer = self.emulation.add_writer(index - 1)
         writer.enqueue("write", value)
-        client_id = writer.client_id
 
         def write_returned(_kernel) -> bool:
             return writer.idle and not writer.program

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.core.layout import RegisterLayout
-from repro.sim.client import ClientProtocol
 from repro.sim.history import History
 from repro.sim.ids import ClientId, ObjectId, ServerId
 from repro.sim.kernel import Environment

@@ -24,7 +24,7 @@ import inspect
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.exec.grid import Cell
 
@@ -71,7 +71,7 @@ def cell_key(cell: Cell, code_version: "Optional[str]" = None) -> str:
 class ResultCache:
     """JSON-file result cache keyed by :func:`cell_key`."""
 
-    def __init__(self, root: "os.PathLike | str" = ".repro_cache"):
+    def __init__(self, root: "Union[os.PathLike, str]" = ".repro_cache"):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0

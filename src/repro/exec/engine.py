@@ -31,18 +31,19 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.exec.cache import ResultCache
+from repro.exec.grid import Cell, expand_experiment
+
+_MP_CONTEXT: "Optional[multiprocessing.context.BaseContext]"
 try:
     # Fork keeps workers identical to the parent (same registry state,
     # including experiments registered at runtime) and skips re-import.
     _MP_CONTEXT = multiprocessing.get_context("fork")
 except ValueError:  # pragma: no cover — non-POSIX platforms
     _MP_CONTEXT = None
-
-from repro.exec.cache import ResultCache
-from repro.exec.grid import Cell, expand_experiment
 
 #: outcome states a cell can end in.
 OK, CACHED, FAILED = "ok", "cached", "failed"
@@ -54,7 +55,7 @@ class CellOutcome:
 
     cell: Cell
     status: str  # OK | CACHED | FAILED
-    result: "Optional[Any]" = None  # ExperimentResult on OK/CACHED
+    result: Any = None  # ExperimentResult on OK/CACHED, else None
     error: "Optional[str]" = None  # traceback text on FAILED
     steps: int = 0  # kernel steps simulated for this cell
     elapsed: float = 0.0  # wall-clock seconds

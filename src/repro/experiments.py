@@ -14,7 +14,7 @@ Registry ids: ``T1``, ``T1-sweep``, ``F1``, ``L1``, ``TH1``, ``TH2``,
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_table

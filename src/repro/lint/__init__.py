@@ -1,0 +1,44 @@
+"""``repro lint`` — a simulation-discipline static analyzer.
+
+AST-based, codebase-specific rules that make the reproduction's model
+assumptions machine-checked instead of conventional: determinism under a
+seed (R001/R002/R006), Emulation-protocol conformance (R003), the
+paper's base-object access discipline (R004) and listener hygiene
+(R005).  See ``docs/LINTING.md`` for the catalog, the suppression
+syntax and the baseline workflow, and ``repro lint --help`` for the CLI.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import (
+    RULES,
+    Finding,
+    LintResult,
+    ModuleInfo,
+    ProjectIndex,
+    Rule,
+    collect_files,
+    lint_paths,
+    load_module,
+    register_rule,
+)
+from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.rules import EMULATION_SURFACE  # registers the rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "EMULATION_SURFACE",
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "ProjectIndex",
+    "RULES",
+    "Rule",
+    "collect_files",
+    "lint_paths",
+    "load_module",
+    "register_rule",
+    "render_json",
+    "render_rules",
+    "render_text",
+]

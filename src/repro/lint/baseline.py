@@ -1,0 +1,122 @@
+"""Baseline files: grandfathered findings, each with a reason.
+
+A baseline entry names a finding by its content fingerprint (rule id +
+package-relative path + normalized source line — see
+:func:`repro.lint.engine.fingerprint`), so entries survive unrelated
+edits that shift line numbers but go *stale* the moment the flagged line
+changes or disappears.  Stale entries are reported by the CLI and
+rejected by the self-cleanliness test, which keeps the baseline honest:
+it can only shrink, never silently rot.
+
+Every entry carries a ``reason`` string.  The checked-in
+``lint-baseline.json`` holds the deliberate violations triaged when the
+linter was introduced (permanent listener subscriptions, mostly);
+``repro lint --write-baseline`` regenerates entries with a placeholder
+reason that is expected to be replaced by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: reason --write-baseline stamps on new entries (replace it by hand).
+PLACEHOLDER_REASON = "grandfathered by --write-baseline; justify or fix"
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str  # package-relative, informational
+    reason: str
+
+    def to_dict(self) -> "Dict[str, str]":
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings, keyed by fingerprint."""
+
+    entries: "List[BaselineEntry]" = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r}"
+                f" (expected {BASELINE_VERSION})"
+            )
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=entry["fingerprint"],
+                    rule=entry["rule"],
+                    path=entry["path"],
+                    reason=entry.get("reason", ""),
+                )
+                for entry in payload.get("entries", [])
+            ]
+        )
+
+    @classmethod
+    def from_findings(cls, findings: "List[Finding]") -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=item.fingerprint,
+                    rule=item.rule,
+                    path=item.relpath,
+                    reason=PLACEHOLDER_REASON,
+                )
+                for item in findings
+            ]
+        )
+
+    def save(self, path: "Path | str") -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: "List[Finding]"
+    ) -> "Tuple[List[Finding], List[Finding], List[Dict[str, str]]]":
+        """Split findings into (active, baselined); report stale entries."""
+        by_fingerprint = {
+            entry.fingerprint: entry for entry in self.entries
+        }
+        active: "List[Finding]" = []
+        baselined: "List[Finding]" = []
+        matched = set()
+        for item in findings:
+            entry = by_fingerprint.get(item.fingerprint)
+            if entry is not None:
+                baselined.append(item)
+                matched.add(item.fingerprint)
+            else:
+                active.append(item)
+        stale = [
+            entry.to_dict()
+            for entry in self.entries
+            if entry.fingerprint not in matched
+        ]
+        return active, baselined, stale

@@ -1,0 +1,473 @@
+"""The ``repro lint`` engine: files, findings, suppressions, rules.
+
+The linter enforces the *simulation discipline* the reproduction's
+claims rest on — determinism under a seed and base-object access
+through the invocation/response interface of the paper's model (see
+``docs/LINTING.md`` for the rule catalog and the rationale).  This
+module is the rule-agnostic machinery:
+
+* :class:`Finding` — one diagnostic, with a content *fingerprint* that
+  survives line-number shifts (it hashes the rule id, the module's
+  package-relative path and the normalized source line, not the line
+  number), so baselines do not rot on unrelated edits;
+* :class:`ModuleInfo` / :class:`ProjectIndex` — parsed modules plus
+  cross-module name resolution (rules like R003 follow ``from x import
+  Y`` chains to the class definition);
+* :class:`Suppressions` — per-line ``# repro-lint: disable=R00x
+  <reason>`` directives (on the flagged line or the line above);
+* :class:`Rule` and the rule registry — rules self-register via
+  :func:`register_rule`; the concrete rules live in
+  :mod:`repro.lint.rules`;
+* :func:`lint_paths` — collect, check, suppress, baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: rule id for files the parser rejects (not a registered rule: a file
+#: that does not parse cannot be checked, which is itself a finding).
+PARSE_ERROR = "R000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s+(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule, location, message, stable fingerprint."""
+
+    rule: str
+    path: str  # path as passed to the linter (for display)
+    relpath: str  # package-relative posix path (stable across checkouts)
+    line: int
+    col: int
+    message: str
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> "Dict[str, object]":
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "relpath": self.relpath,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class Suppressions:
+    """Per-line ``# repro-lint: disable=R00x[,R00y] <reason>`` directives.
+
+    A directive silences matching findings on its own line and on the
+    line directly below it (so long statements can carry the directive on
+    a comment line above).  A reason string is required by convention —
+    the self-cleanliness test rejects reasonless directives in ``src/``.
+    """
+
+    def __init__(self, lines: "Sequence[str]") -> None:
+        #: line number -> (rule ids, reason or None)
+        self.by_line: "Dict[int, Tuple[Set[str], Optional[str]]]" = {}
+        for number, text in enumerate(lines, start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")}
+            self.by_line[number] = (ids, match.group("reason"))
+
+    def matches(self, rule: str, line: int) -> bool:
+        for candidate in (line, line - 1):
+            entry = self.by_line.get(candidate)
+            if entry is not None and rule in entry[0]:
+                return True
+        return False
+
+    def reasonless(self) -> "List[int]":
+        """Line numbers of directives that carry no reason string."""
+        return sorted(
+            number
+            for number, (_, reason) in self.by_line.items()
+            if not reason
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its package coordinates."""
+
+    path: Path
+    display_path: str
+    text: str
+    lines: "List[str]"
+    tree: "Optional[ast.Module]"
+    relpath: str  # "repro/sim/kernel.py", or the bare filename
+    module_name: "Optional[str]"  # "repro.sim.kernel" when derivable
+    root: "Optional[Path]"  # directory containing the top-level package
+    suppressions: Suppressions = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.suppressions = Suppressions(self.lines)
+
+    # -- path scoping used by the rules -----------------------------------
+
+    def in_package_dirs(self, prefixes: "Tuple[str, ...]") -> bool:
+        """True when the module lives under one of the package prefixes.
+
+        Files outside the ``repro`` package (rule-fixture files in test
+        temp dirs) count as in scope for every rule, so fixtures exercise
+        rules without replicating the package layout.
+        """
+        if not self._in_package:
+            return True
+        return self._under(prefixes)
+
+    def in_exempt_dirs(self, prefixes: "Tuple[str, ...]") -> bool:
+        """True when the module is exempt (only meaningful in-package)."""
+        return self._in_package and self._under(prefixes)
+
+    @property
+    def _in_package(self) -> bool:
+        return self.relpath.startswith("repro/") or self.relpath == "repro"
+
+    def _under(self, prefixes: "Tuple[str, ...]") -> bool:
+        return any(
+            self.relpath == prefix or self.relpath.startswith(prefix + "/")
+            for prefix in prefixes
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _package_coordinates(
+    path: Path,
+) -> "Tuple[str, Optional[str], Optional[Path]]":
+    """Derive (relpath, module name, package root) from a file path.
+
+    The last ``repro`` path component anchors the package; fixture files
+    outside any ``repro`` directory fall back to their bare filename.
+    """
+    parts = path.parts
+    anchor = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            anchor = index
+            break
+    if anchor is None:
+        return path.name, path.stem, path.parent
+    rel_parts = parts[anchor:]
+    relpath = "/".join(rel_parts)
+    module_parts = list(rel_parts)
+    module_parts[-1] = module_parts[-1][: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return relpath, ".".join(module_parts), Path(*parts[:anchor]) or Path(".")
+
+
+def load_module(path: Path, display_path: "Optional[str]" = None) -> ModuleInfo:
+    """Read and parse one file (``tree`` is None on syntax errors)."""
+    text = path.read_text(encoding="utf-8")
+    relpath, module_name, root = _package_coordinates(path)
+    try:
+        tree: "Optional[ast.Module]" = ast.parse(text, filename=str(path))
+    except SyntaxError:
+        tree = None
+    return ModuleInfo(
+        path=path,
+        display_path=display_path or str(path),
+        text=text,
+        lines=text.splitlines(),
+        tree=tree,
+        relpath=relpath,
+        module_name=module_name,
+        root=root,
+    )
+
+
+class ProjectIndex:
+    """Cross-module lookups over the linted file set (plus lazy extras).
+
+    ``module(dotted)`` prefers modules already in the linted set and
+    falls back to parsing the file from any known package root, so rules
+    can resolve imports that point outside the paths being linted (e.g.
+    linting only ``core/emulation.py`` still resolves the emulation
+    classes it imports).
+    """
+
+    def __init__(self, modules: "Sequence[ModuleInfo]") -> None:
+        self.modules = list(modules)
+        self.by_name: "Dict[str, ModuleInfo]" = {}
+        self.roots: "List[Path]" = []
+        for module in modules:
+            if module.module_name and module.module_name not in self.by_name:
+                self.by_name[module.module_name] = module
+            for root in (module.root, module.path.parent):
+                if root is not None and root not in self.roots:
+                    self.roots.append(root)
+        self._extra: "Dict[str, Optional[ModuleInfo]]" = {}
+
+    def module(self, dotted: str) -> "Optional[ModuleInfo]":
+        found = self.by_name.get(dotted)
+        if found is not None:
+            return found
+        if dotted in self._extra:
+            return self._extra[dotted]
+        resolved: "Optional[ModuleInfo]" = None
+        tail = Path(*dotted.split("."))
+        for root in self.roots:
+            for candidate in (
+                root / tail.with_suffix(".py"),
+                root / tail / "__init__.py",
+            ):
+                if candidate.is_file():
+                    resolved = load_module(candidate)
+                    break
+            if resolved is not None:
+                break
+        self._extra[dotted] = resolved
+        return resolved
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve_class(
+        self, module: ModuleInfo, name: str, _depth: int = 0
+    ) -> "Optional[Tuple[ast.ClassDef, ModuleInfo]]":
+        """Find the ClassDef bound to ``name`` in ``module``.
+
+        Follows ``from x import Y [as Z]`` chains (including imports
+        nested inside function bodies, the registry's lazy-import idiom)
+        up to a small depth; returns None when the definition cannot be
+        located statically.
+        """
+        if module.tree is None or _depth > 8:
+            return None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node, module
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for alias in node.names:
+                if (alias.asname or alias.name) != name:
+                    continue
+                target = self._absolute_module(module, node)
+                if target is None:
+                    return None
+                imported = self.module(target)
+                if imported is None:
+                    return None
+                return self.resolve_class(imported, alias.name, _depth + 1)
+        return None
+
+    @staticmethod
+    def _absolute_module(
+        module: ModuleInfo, node: ast.ImportFrom
+    ) -> "Optional[str]":
+        if not node.level:
+            return node.module
+        if module.module_name is None:
+            return None
+        base = module.module_name.split(".")
+        if node.level > len(base):
+            return None
+        base = base[: len(base) - node.level]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base)
+
+
+# -- rules ------------------------------------------------------------------
+
+#: rule id -> rule instance, in registration order.
+RULES: "Dict[str, Rule]" = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+class Rule:
+    """Base class: one id, one message family, one AST pass."""
+
+    id = ""
+    title = ""
+
+    def check(
+        self, module: ModuleInfo, project: ProjectIndex
+    ) -> "Iterator[Finding]":
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display_path,
+            relpath=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def fingerprint(relpath: str, rule: str, line_text: str, occurrence: int) -> str:
+    """Content hash identifying a finding independent of line numbers."""
+    blob = f"{rule}::{relpath}::{line_text.strip()}::{occurrence}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+# -- running ----------------------------------------------------------------
+
+
+def collect_files(paths: "Iterable[Path | str]") -> "List[Path]":
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: "Set[Path]" = set()
+    ordered: "List[Path]" = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(
+                p
+                for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif entry.is_file():
+            candidates = [entry]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: "List[Finding]"  # every finding, pre-suppression
+    active: "List[Finding]"  # findings that fail the run
+    suppressed: "List[Finding]"  # silenced by inline directives
+    baselined: "List[Finding]"  # silenced by the baseline file
+    stale_baseline: "List[Dict[str, str]]"  # baseline entries that no longer match
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def run_rules(
+    modules: "Sequence[ModuleInfo]",
+    rule_ids: "Optional[Iterable[str]]" = None,
+) -> "List[Finding]":
+    """Run the (selected) rules over parsed modules; assign fingerprints."""
+    # Import for the side effect of registering the built-in rules.
+    import repro.lint.rules  # noqa: F401
+
+    selected = [
+        RULES[rule_id]
+        for rule_id in (rule_ids if rule_ids is not None else RULES)
+    ]
+    project = ProjectIndex(modules)
+    findings: "List[Finding]" = []
+    for module in modules:
+        if module.tree is None:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=module.display_path,
+                    relpath=module.relpath,
+                    line=1,
+                    col=1,
+                    message="file does not parse",
+                )
+            )
+            continue
+        for rule in selected:
+            findings.extend(rule.check(module, project))
+    findings.sort(key=lambda f: (f.relpath, f.line, f.col, f.rule))
+    occurrences: "Dict[Tuple[str, str, str], int]" = {}
+    stamped: "List[Finding]" = []
+    for item in findings:
+        module = next(
+            (m for m in modules if m.display_path == item.path), None
+        )
+        text = module.line_text(item.line) if module else ""
+        key = (item.rule, item.relpath, text.strip())
+        occurrence = occurrences.get(key, 0)
+        occurrences[key] = occurrence + 1
+        stamped.append(
+            Finding(
+                **{
+                    **item.to_dict(),
+                    "fingerprint": fingerprint(
+                        item.relpath, item.rule, text, occurrence
+                    ),
+                }
+            )
+        )
+    return stamped
+
+
+def lint_paths(
+    paths: "Iterable[Path | str]",
+    baseline: "Optional[object]" = None,
+    rule_ids: "Optional[Iterable[str]]" = None,
+) -> LintResult:
+    """Lint files/directories; apply suppressions, then the baseline."""
+    files = collect_files(paths)
+    modules = [load_module(path) for path in files]
+    findings = run_rules(modules, rule_ids)
+    by_display = {module.display_path: module for module in modules}
+    active: "List[Finding]" = []
+    suppressed: "List[Finding]" = []
+    for item in findings:
+        module = by_display.get(item.path)
+        if module is not None and module.suppressions.matches(
+            item.rule, item.line
+        ):
+            suppressed.append(item)
+        else:
+            active.append(item)
+    baselined: "List[Finding]" = []
+    stale: "List[Dict[str, str]]" = []
+    if baseline is not None:
+        active, baselined, stale = baseline.partition(active)
+    return LintResult(
+        findings=findings,
+        active=active,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=len(files),
+    )

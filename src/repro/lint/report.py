@@ -1,0 +1,65 @@
+"""Rendering lint results as text and JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.engine import RULES, LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """The human-facing report: one line per active finding + summary."""
+    lines = [item.render() for item in result.active]
+    if verbose:
+        lines.extend(
+            f"{item.render()} [suppressed]" for item in result.suppressed
+        )
+        lines.extend(
+            f"{item.render()} [baselined]" for item in result.baselined
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry['rule']} {entry['path']}"
+            f" ({entry['fingerprint']}) — finding no longer exists;"
+            " remove it from the baseline"
+        )
+    lines.append(
+        f"repro lint: {result.files} file(s),"
+        f" {len(result.active)} finding(s)"
+        f" ({len(result.suppressed)} suppressed,"
+        f" {len(result.baselined)} baselined,"
+        f" {len(result.stale_baseline)} stale baseline)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-facing report (uploaded as a CI artifact)."""
+    payload: "Dict[str, Any]" = {
+        "findings": [item.to_dict() for item in result.active],
+        "suppressed": [item.to_dict() for item in result.suppressed],
+        "baselined": [item.to_dict() for item in result.baselined],
+        "stale_baseline": result.stale_baseline,
+        "summary": {
+            "files": result.files,
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_baseline),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule catalog (``repro lint --list-rules``)."""
+    # Importing the rules module populates the registry.
+    import repro.lint.rules  # noqa: F401
+
+    width = max(len(rule_id) for rule_id in RULES)
+    return "\n".join(
+        f"{rule_id:<{width}}  {rule.title}"
+        for rule_id, rule in sorted(RULES.items())
+    )

@@ -15,9 +15,7 @@ exactly the weather safety properties must survive.
 from __future__ import annotations
 
 import random
-from typing import Dict
 
-from repro.sim.ids import OpId
 from repro.sim.kernel import Action, ActionKind, Environment, Kernel
 
 

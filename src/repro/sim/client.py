@@ -36,7 +36,7 @@ requires.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.ids import ClientId, ObjectId, OpId

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.sim.ids import ClientId, ObjectId, OpId, ServerId
+from repro.sim.ids import ClientId, ServerId
 from repro.sim.objects import LowLevelOp
 
 

@@ -7,8 +7,8 @@ tests and benchmarks exercise f-tolerance deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.events import EventListener
 from repro.sim.ids import ClientId, ServerId

@@ -7,7 +7,7 @@ arguments and results.  The consistency checkers consume histories.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.sim.events import EventListener, InvokeEvent, ReturnEvent

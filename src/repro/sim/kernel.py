@@ -500,7 +500,7 @@ class Kernel:
                 f"\n  oracle:      {[str(a) for a in oracle]}"
             )
 
-    # -- execution ------------------------------------------------------------------------
+    # -- execution ------------------------------------------------------------
 
     def execute(self, action: Action) -> None:
         """Execute one action and advance time by one step."""
@@ -571,7 +571,7 @@ class Kernel:
             global _TOTAL_STEPS
             _TOTAL_STEPS += steps
 
-    # -- queries used by analysis/adversaries -----------------------------------------------
+    # -- queries used by analysis/adversaries ---------------------------------
 
     def pending_ops_on(self, object_id: ObjectId) -> "List[LowLevelOp]":
         return [op for op in self.pending.values() if op.object_id == object_id]

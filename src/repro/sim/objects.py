@@ -17,7 +17,7 @@ object history and keeps the simulation deterministic given a schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 

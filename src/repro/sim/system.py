@@ -8,7 +8,7 @@ turns a placement list into a ready-to-run :class:`SimSystem`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.sim.client import ClientProtocol, ClientRuntime
 from repro.sim.history import History

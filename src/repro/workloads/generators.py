@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

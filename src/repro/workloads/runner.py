@@ -9,8 +9,8 @@ builds first (handy across process boundaries, where only specs travel).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Union
 
 from repro.analysis.resources import (
     PointContentionMeter,

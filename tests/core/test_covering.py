@@ -34,8 +34,10 @@ class MultiWriteProtocol(ToyProtocol):
         self.quorum = quorum
 
     def op_write(self, ctx, value):
+        from repro.sim.objects import OpKind
+
         ops = [
-            ctx.trigger(oid, __import__("repro.sim.objects", fromlist=["OpKind"]).OpKind.WRITE, value)
+            ctx.trigger(oid, OpKind.WRITE, value)
             for oid in self.registers
         ]
         yield lambda: sum(1 for op in ops if op in self.results) >= self.quorum

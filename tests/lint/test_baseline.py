@@ -1,0 +1,116 @@
+"""Fingerprints and the baseline lifecycle.
+
+A fingerprint hashes the rule id, the package-relative path and the
+normalized source line — not the line number — so baseline entries
+survive edits that merely shift code around, and go stale exactly when
+the flagged line itself changes or disappears.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, lint_paths
+from repro.lint.baseline import BASELINE_VERSION, PLACEHOLDER_REASON
+
+LEAK = """
+def leaky(kernel, meter):
+    kernel.add_listener(meter)
+    kernel.run(max_steps=100)
+"""
+
+
+def lint_fixture(tmp_path, source, baseline=None):
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path], baseline=baseline, rule_ids=["R005"])
+
+
+class TestFingerprints:
+    def test_stable_across_line_shifts(self, tmp_path):
+        before = lint_fixture(tmp_path, LEAK)
+        after = lint_fixture(tmp_path, "# a new comment\n\n\n" + LEAK)
+        (first,) = before.active
+        (second,) = after.active
+        assert first.line != second.line
+        assert first.fingerprint == second.fingerprint
+
+    def test_changes_when_line_changes(self, tmp_path):
+        before = lint_fixture(tmp_path, LEAK)
+        after = lint_fixture(
+            tmp_path, LEAK.replace("(meter)", "(other_meter)")
+        )
+        assert before.active[0].fingerprint != after.active[0].fingerprint
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            """
+            def one(kernel, meter):
+                kernel.add_listener(meter)
+
+            def two(kernel, meter):
+                kernel.add_listener(meter)
+            """,
+        )
+        assert len(result.active) == 2
+        fingerprints = {item.fingerprint for item in result.active}
+        assert len(fingerprints) == 2
+
+
+class TestBaseline:
+    def test_partition_baselines_known_findings(self, tmp_path):
+        first = lint_fixture(tmp_path, LEAK)
+        baseline = Baseline.from_findings(first.active)
+        second = lint_fixture(tmp_path, LEAK, baseline=baseline)
+        assert second.active == []
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+        assert second.ok
+
+    def test_baseline_survives_unrelated_edits(self, tmp_path):
+        baseline = Baseline.from_findings(lint_fixture(tmp_path, LEAK).active)
+        shifted = lint_fixture(
+            tmp_path, "import sys  # unrelated\n" + LEAK, baseline=baseline
+        )
+        assert shifted.active == []
+        assert len(shifted.baselined) == 1
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        baseline = Baseline.from_findings(lint_fixture(tmp_path, LEAK).active)
+        fixed = lint_fixture(
+            tmp_path,
+            """
+            def tidy(kernel, meter):
+                kernel.add_listener(meter)
+                try:
+                    kernel.run(max_steps=100)
+                finally:
+                    kernel.remove_listener(meter)
+            """,
+            baseline=baseline,
+        )
+        assert fixed.active == []
+        assert fixed.baselined == []
+        assert len(fixed.stale_baseline) == 1
+        assert fixed.stale_baseline[0]["rule"] == "R005"
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(lint_fixture(tmp_path, LEAK).active)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert [e.to_dict() for e in loaded.entries] == [
+            e.to_dict() for e in baseline.entries
+        ]
+        assert loaded.entries[0].reason == PLACEHOLDER_REASON
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": BASELINE_VERSION + 1, "entries": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(target)

@@ -1,0 +1,148 @@
+"""The ``repro lint`` CLI: exit codes, JSON output, baseline flags."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _run_from_tmp(tmp_path, monkeypatch):
+    # The default baseline path is CWD-relative; run each test from its
+    # temp dir so the repository's own lint-baseline.json stays out of
+    # the picture (its entries are all stale for a one-file fixture run).
+    monkeypatch.chdir(tmp_path)
+
+CLEAN = """
+def add(a, b):
+    return a + b
+"""
+
+DIRTY = """
+import random
+
+value = random.random()
+"""
+
+
+def write(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        code = main(
+            ["lint", str(path), "--baseline", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "baseline file not found" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_json_to_stdout(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        assert main(["lint", str(path), "--json", "-"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["active"] == 1
+        assert payload["findings"][0]["rule"] == "R001"
+        assert payload["findings"][0]["fingerprint"]
+
+    def test_json_to_file(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        report = tmp_path / "report.json"
+        assert main(["lint", str(path), "--json", str(report)]) == 1
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["summary"]["ok"] is False
+        capsys.readouterr()  # drain the text report
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out
+
+    def test_verbose_shows_suppressed(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            """
+            import random
+
+            value = random.random()  # repro-lint: disable=R001 fixture
+            """,
+        )
+        assert main(["lint", str(tmp_path / "fixture.py"), "--verbose"]) == 0
+        assert "[suppressed]" in capsys.readouterr().out
+
+
+class TestBaselineFlags:
+    def test_write_then_lint_against_baseline(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(path),
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert baseline.is_file()
+        assert (
+            main(["lint", str(path), "--baseline", str(baseline)]) == 0
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_stale_baseline_fails(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(
+            ["lint", str(path), "--write-baseline", "--baseline", str(baseline)]
+        )
+        write(tmp_path, CLEAN)  # the finding is fixed; the entry rots
+        assert (
+            main(["lint", str(path), "--baseline", str(baseline)]) == 1
+        )
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_no_baseline_ignores_file(self, tmp_path, capsys):
+        path = write(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        main(
+            ["lint", str(path), "--write-baseline", "--baseline", str(baseline)]
+        )
+        code = main(
+            [
+                "lint",
+                str(path),
+                "--no-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()

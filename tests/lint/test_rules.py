@@ -1,0 +1,712 @@
+"""Fixture tests for the built-in rules R001-R006.
+
+Every rule gets (a) a fixture it fires on, (b) a fixture a suppression
+directive silences, and (c) negative fixtures it must stay quiet on.
+Fixture files live in pytest temp dirs; files outside the ``repro``
+package count as in-scope for every rule (see
+``ModuleInfo.in_package_dirs``), so the fixtures need not replicate the
+package layout — except where a test exercises the path scoping itself.
+"""
+
+import textwrap
+
+from repro.lint import lint_paths
+
+
+def lint_source(tmp_path, source, rule, name="fixture.py"):
+    """Lint one fixture file with a single rule."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path], rule_ids=[rule])
+
+
+def rules_fired(result):
+    return [item.rule for item in result.active]
+
+
+# -- R001: unseeded randomness ----------------------------------------------
+
+
+class TestR001:
+    def test_module_level_rng_call_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def pick(items):
+                return items[int(random.random() * len(items))]
+            """,
+            "R001",
+        )
+        assert rules_fired(result) == ["R001"]
+        assert "shared" in result.active[0].message
+
+    def test_seedless_random_instance_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()
+            """,
+            "R001",
+        )
+        assert rules_fired(result) == ["R001"]
+
+    def test_from_import_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            from random import choice
+            """,
+            "R001",
+        )
+        assert rules_fired(result) == ["R001"]
+
+    def test_seeded_instance_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def scheduler(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+            "R001",
+        )
+        assert result.active == []
+
+    def test_from_import_random_class_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            from random import Random
+
+            rng = Random(7)
+            """,
+            "R001",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            value = random.random()  # repro-lint: disable=R001 fixture
+            """,
+            "R001",
+        )
+        assert result.active == []
+        assert rules_fired_suppressed(result) == ["R001"]
+
+    def test_suppression_on_line_above(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            # repro-lint: disable=R001 fixture
+            value = random.random()
+            """,
+            "R001",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+    def test_out_of_scope_package_dir_is_skipped(self, tmp_path):
+        # In-package files outside sim/core/consistency are not covered.
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            value = random.random()
+            """,
+            "R001",
+            name="repro/analysis/fixture.py",
+        )
+        assert result.active == []
+
+    def test_in_scope_package_dir_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            value = random.random()
+            """,
+            "R001",
+            name="repro/sim/fixture.py",
+        )
+        assert rules_fired(result) == ["R001"]
+
+
+def rules_fired_suppressed(result):
+    return [item.rule for item in result.suppressed]
+
+
+# -- R002: wall-clock / environment reads -----------------------------------
+
+
+class TestR002:
+    def test_time_time_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "R002",
+        )
+        assert rules_fired(result) == ["R002"]
+
+    def test_os_environ_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import os
+
+            debug = os.environ.get("DEBUG")
+            """,
+            "R002",
+        )
+        assert rules_fired(result) == ["R002"]
+
+    def test_from_import_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            from time import perf_counter
+            """,
+            "R002",
+        )
+        assert rules_fired(result) == ["R002"]
+
+    def test_exec_package_is_exempt(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            started = time.perf_counter()
+            """,
+            "R002",
+            name="repro/exec/fixture.py",
+        )
+        assert result.active == []
+
+    def test_cli_is_exempt(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            started = time.time()
+            """,
+            "R002",
+            name="repro/cli.py",
+        )
+        assert result.active == []
+
+    def test_simulated_time_is_clean(self, tmp_path):
+        # Kernel step-time is the simulation's clock, not the wall clock.
+        result = lint_source(
+            tmp_path,
+            """
+            def horizon(kernel):
+                return kernel.time
+            """,
+            "R002",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import os
+
+            seed = os.urandom(4)  # repro-lint: disable=R002 fixture
+            """,
+            "R002",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- R003: Emulation-protocol conformance -----------------------------------
+
+_REGISTRY_PRELUDE = """
+def register_algorithm(name):
+    def wrap(fn):
+        return fn
+    return wrap
+"""
+
+_CONFORMING_CLASS = """
+class GoodEmulation:
+    def __init__(self):
+        self.kernel = None
+        self.object_map = None
+        self.history = None
+        self.system = None
+
+    def add_writer(self, writer_index):
+        pass
+
+    def add_reader(self):
+        pass
+"""
+
+
+class TestR003:
+    def test_missing_surface_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + textwrap.dedent(
+                """
+                class PartialEmulation:
+                    def __init__(self):
+                        self.kernel = None
+
+                @register_algorithm("partial")
+                def build(**kwargs):
+                    return PartialEmulation(**kwargs)
+                """
+            ),
+            "R003",
+        )
+        assert rules_fired(result) == ["R003"]
+        message = result.active[0].message
+        assert "add_writer" in message and "object_map" in message
+        assert "kernel" not in message.split("missing")[1]
+
+    def test_conforming_class_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + _CONFORMING_CLASS
+            + textwrap.dedent(
+                """
+                @register_algorithm("good")
+                def build(**kwargs):
+                    return GoodEmulation(**kwargs)
+                """
+            ),
+            "R003",
+        )
+        assert result.active == []
+
+    def test_surface_via_base_class_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + _CONFORMING_CLASS
+            + textwrap.dedent(
+                """
+                class Derived(GoodEmulation):
+                    pass
+
+                @register_algorithm("derived")
+                def build(**kwargs):
+                    return Derived(**kwargs)
+                """
+            ),
+            "R003",
+        )
+        assert result.active == []
+
+    def test_cross_module_resolution_fires(self, tmp_path):
+        (tmp_path / "emu_impl.py").write_text(
+            textwrap.dedent(
+                """
+                class RemotePartial:
+                    def __init__(self):
+                        self.kernel = None
+                        self.history = None
+                """
+            ),
+            encoding="utf-8",
+        )
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + textwrap.dedent(
+                """
+                from emu_impl import RemotePartial
+
+                @register_algorithm("remote")
+                def build(**kwargs):
+                    return RemotePartial(**kwargs)
+                """
+            ),
+            "R003",
+            name="registry.py",
+        )
+        assert rules_fired(result) == ["R003"]
+
+    def test_unresolvable_class_is_inconclusive(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + textwrap.dedent(
+                """
+                from nowhere_to_be_found import MysteryEmulation
+
+                @register_algorithm("mystery")
+                def build(**kwargs):
+                    return MysteryEmulation(**kwargs)
+                """
+            ),
+            "R003",
+        )
+        assert result.active == []
+
+    def test_real_registry_is_clean(self):
+        # The shipped algorithm registry must satisfy its own protocol.
+        import repro.core.emulation as emulation_module
+
+        result = lint_paths([emulation_module.__file__], rule_ids=["R003"])
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            _REGISTRY_PRELUDE
+            + textwrap.dedent(
+                """
+                class PartialEmulation:
+                    def __init__(self):
+                        self.kernel = None
+
+                @register_algorithm("partial")
+                def build(**kwargs):
+                    # repro-lint: disable=R003 fixture
+                    return PartialEmulation(**kwargs)
+                """
+            ),
+            "R003",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- R004: base-object access discipline ------------------------------------
+
+
+class TestR004:
+    def test_mutator_call_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def sabotage(emulation, server_id):
+                emulation.object_map.crash_server(server_id)
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+        assert "bypasses the kernel" in result.active[0].message
+
+    def test_private_internal_access_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def peek(self):
+                return self.object_map._objects
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+
+    def test_attribute_mutation_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def overwrite(self, value):
+                self.object_map.table = value
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+
+    def test_subscript_mutation_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def plant(self, object_id, value):
+                self.object_map.entries[object_id] = value
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+
+    def test_public_reads_are_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def covered_servers(self, cov):
+                servers = self.object_map.image(cov)
+                return servers & set(self.object_map.server_ids)
+            """,
+            "R004",
+        )
+        assert result.active == []
+
+    def test_trigger_respond_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def op_write(self, ctx, value):
+                op = ctx.trigger(self.register, "write", value)
+                yield lambda: op in self.results
+                return "ack"
+            """,
+            "R004",
+        )
+        assert result.active == []
+
+    def test_out_of_scope_package_dir_is_skipped(self, tmp_path):
+        # The simulator itself legitimately builds/mutates deployments.
+        result = lint_source(
+            tmp_path,
+            """
+            def build(self, server_id):
+                self.object_map.add_server(server_id)
+            """,
+            "R004",
+            name="repro/sim/fixture.py",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def sabotage(emulation, server_id):
+                # repro-lint: disable=R004 fixture
+                emulation.object_map.crash_server(server_id)
+            """,
+            "R004",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- R005: listener hygiene --------------------------------------------------
+
+
+class TestR005:
+    def test_unpaired_add_listener_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def leaky(kernel, meter):
+                kernel.add_listener(meter)
+                kernel.run(max_steps=100)
+            """,
+            "R005",
+        )
+        assert rules_fired(result) == ["R005"]
+
+    def test_finally_pairing_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def tidy(kernel, meter):
+                kernel.add_listener(meter)
+                try:
+                    kernel.run(max_steps=100)
+                finally:
+                    kernel.remove_listener(meter)
+            """,
+            "R005",
+        )
+        assert result.active == []
+
+    def test_mismatched_argument_still_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def sloppy(kernel, meter, other):
+                kernel.add_listener(meter)
+                try:
+                    kernel.run(max_steps=100)
+                finally:
+                    kernel.remove_listener(other)
+            """,
+            "R005",
+        )
+        assert rules_fired(result) == ["R005"]
+
+    def test_enter_exit_pairing_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            class Subscription:
+                def __enter__(self):
+                    self.kernel.add_listener(self.meter)
+                    return self
+
+                def __exit__(self, *exc):
+                    self.kernel.remove_listener(self.meter)
+            """,
+            "R005",
+        )
+        assert result.active == []
+
+    def test_module_level_subscription_is_ignored(self, tmp_path):
+        # Only subscriptions inside functions are checked; deployment
+        # wiring at class/module construction time is the baseline's job.
+        result = lint_source(
+            tmp_path,
+            """
+            KERNEL.add_listener(METER)
+            """,
+            "R005",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def wired(kernel, meter):
+                # repro-lint: disable=R005 permanent by design (fixture)
+                kernel.add_listener(meter)
+            """,
+            "R005",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- R006: iteration-order hazards -------------------------------------------
+
+
+class TestR006:
+    def test_iterating_image_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def first_server(object_map, cov):
+                for server_id in object_map.image(cov):
+                    return server_id
+            """,
+            "R006",
+        )
+        assert rules_fired(result) == ["R006"]
+
+    def test_set_literal_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def order():
+                return [x for x in {3, 1, 2}]
+            """,
+            "R006",
+        )
+        assert rules_fired(result) == ["R006"]
+
+    def test_set_difference_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def fresh(tracker, previous):
+                for object_id in tracker.preimage(previous) - previous:
+                    yield object_id
+            """,
+            "R006",
+        )
+        assert rules_fired(result) == ["R006"]
+
+    def test_sorted_wrapper_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def stable(object_map, cov):
+                for server_id in sorted(object_map.image(cov)):
+                    yield server_id
+            """,
+            "R006",
+        )
+        assert result.active == []
+
+    def test_list_iteration_is_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def rows(items):
+                for item in list(items):
+                    yield item
+            """,
+            "R006",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def any_server(object_map, cov):
+                # repro-lint: disable=R006 order-insensitive (fixture)
+                return {s for s in object_map.image(cov)}
+            """,
+            "R006",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- engine-level behaviors shared by all rules ------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_reports_r000(self, tmp_path):
+        result = lint_source(tmp_path, "def broken(:\n", "R001")
+        assert rules_fired(result) == ["R000"]
+
+    def test_multi_rule_directive(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+            import time
+
+            # repro-lint: disable=R001,R002 fixture
+            value = random.random() + time.time()
+            """,
+            "R001",
+        )
+        assert result.active == []
+        result2 = lint_source(
+            tmp_path,
+            """
+            import random
+            import time
+
+            # repro-lint: disable=R001,R002 fixture
+            value = random.random() + time.time()
+            """,
+            "R002",
+        )
+        assert result2.active == []
+
+    def test_directive_does_not_leak_to_other_rules(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import random
+
+            value = random.random()  # repro-lint: disable=R002 wrong id
+            """,
+            "R001",
+        )
+        assert rules_fired(result) == ["R001"]

@@ -3,15 +3,25 @@
 A reproduction toolkit must replay runs exactly: identical seeds and
 scripts must yield identical histories (op timings, results and low-level
 op counts), and different seeds must be able to produce different
-interleavings.
+interleavings.  The regression test at the bottom pins the strongest
+form: rebuilding the same :class:`EmulationSpec` and re-running the same
+workload must reproduce the history *and* the full kernel event trace
+byte for byte.
 """
 
+import json
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.abd import ABDEmulation
+from repro.core.emulation import EmulationSpec
 from repro.core.ws_register import WSRegisterEmulation
 from repro.sim.scheduling import RandomScheduler
+from repro.sim.tracing import TraceRecorder, format_entry
+from repro.workloads.generators import concurrent_workload
+from repro.workloads.runner import run_workload
 
 
 def _fingerprint(emulation):
@@ -69,3 +79,45 @@ def test_different_seeds_differ_somewhere():
         _run_abd(seed, clients=3, writes=4)[2] for seed in range(12)
     }
     assert len(fingerprints) > 1  # schedules genuinely vary with the seed
+
+
+# -- spec + workload replay: byte-identical history and trace ---------------
+
+
+def _run_spec_workload(algorithm, seed, **params):
+    """Build the spec'd emulation, run a fixed workload, serialize both
+    the history and the full kernel event trace to bytes."""
+    spec = EmulationSpec.make(algorithm, seed=seed, **params)
+    workload = concurrent_workload(k=2, n_rounds=2, n_readers=2)
+    emulation = spec.build()
+    recorder = TraceRecorder()
+    emulation.kernel.add_listener(recorder)
+    try:
+        report = run_workload(emulation, workload)
+    finally:
+        emulation.kernel.remove_listener(recorder)
+    assert report.completed_rounds == len(workload.rounds)
+    history_blob = json.dumps(
+        report.history.to_dicts(), sort_keys=True
+    ).encode("utf-8")
+    trace_blob = "\n".join(
+        format_entry(entry) for entry in recorder.entries
+    ).encode("utf-8")
+    assert recorder.entries, "the trace recorder saw no events"
+    return history_blob, trace_blob
+
+
+@pytest.mark.parametrize(
+    "algorithm,params",
+    [
+        ("ws-register", {"k": 2, "n": 5, "f": 2}),
+        ("abd", {"n": 5, "f": 2}),
+    ],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_spec_workload_replay_is_byte_identical(algorithm, params, seed):
+    first_history, first_trace = _run_spec_workload(algorithm, seed, **params)
+    second_history, second_trace = _run_spec_workload(algorithm, seed, **params)
+    assert first_history == second_history
+    assert first_trace == second_trace
