@@ -306,6 +306,124 @@ def cmd_demo(args) -> int:
     return 0
 
 
+#: algorithm -> (write op, read op, value kind, safety check) for `cluster`.
+_CLUSTER_TABLE = {
+    "ws-register": ("write", "read", "str", "ws"),
+    "abd": ("write", "read", "str", "register"),
+    "cas-abd": ("write", "read", "str", "register"),
+    "replicated-maxreg": ("write", "read", "str", "ws"),
+    "collect-maxreg": ("write_max", "read_max", "int", "maxreg"),
+    "ft-maxreg": ("write_max", "read_max", "int", "maxreg"),
+    "single-cas": ("write_max", "read_max", "int", "maxreg"),
+}
+
+
+def _spec_params(args) -> dict:
+    params = {}
+    for name in ("k", "n", "f"):
+        value = getattr(args, name, None)
+        if value is not None:
+            params[name] = value
+    return params
+
+
+def cmd_cluster(args) -> int:
+    from repro.consistency.linearizability import is_linearizable
+    from repro.consistency.specs import MaxRegisterSpec, RegisterSpec
+    from repro.consistency.ws import check_ws_regular
+    from repro.core.emulation import EmulationSpec
+    from repro.net import TransportConfig
+
+    if args.demo:
+        args.algorithm, args.n, args.f, args.rounds = "abd", 3, 1, 2
+    write_op, read_op, value_kind, check = _CLUSTER_TABLE[args.algorithm]
+    spec = EmulationSpec.make(
+        args.algorithm,
+        seed=args.seed,
+        transport=TransportConfig.asyncio(tuple(args.address)),
+        **_spec_params(args),
+    )
+    try:
+        emulation = spec.build()
+    except TypeError as error:
+        print(
+            f"error: {error} (pass -k/-n/-f as the algorithm requires)",
+            file=sys.stderr,
+        )
+        return 2
+    transport = emulation.kernel.transport
+    try:
+        writer = emulation.add_writer(0)
+        reader = emulation.add_reader()
+        for round_index in range(args.rounds):
+            value = (
+                round_index + 1
+                if value_kind == "int"
+                else f"value-{round_index}"
+            )
+            writer.enqueue(write_op, value)
+            reader.enqueue(read_op)
+            result = emulation.system.run_to_quiescence(max_steps=100_000)
+            if not result.satisfied:
+                print(f"cluster run stalled: {result}", file=sys.stderr)
+                return 1
+        where = transport.describe()
+        history = emulation.history
+        if check == "ws":
+            ok = check_ws_regular(history, cross_check=True) == []
+        elif check == "register":
+            ok = is_linearizable(history.all_ops(), RegisterSpec(None))
+        else:
+            ok = is_linearizable(history.all_ops(), MaxRegisterSpec(0))
+    finally:
+        transport.close()
+    endpoints = where["addresses"] or [
+        f"{where['host']}:{port}" for _, port in sorted(where["ports"].items())
+    ]
+    print(
+        f"{args.algorithm} over real sockets ({', '.join(endpoints)}):"
+        f" {len(history.all_ops())} ops, safety check"
+        f" {'passed' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.core.emulation import EmulationSpec
+    from repro.net.asyncio_transport import (
+        run_replica_server,
+        snapshot_placements,
+    )
+
+    spec = EmulationSpec.make(args.algorithm, seed=0, **_spec_params(args))
+    try:
+        emulation = spec.build()
+    except TypeError as error:
+        print(
+            f"error: {error} (pass -k/-n/-f as the algorithm requires)",
+            file=sys.stderr,
+        )
+        return 2
+    placements = snapshot_placements(emulation.kernel.object_map)
+    if args.server not in placements:
+        print(
+            f"error: no server {args.server} in this layout"
+            f" (servers: {sorted(placements)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        run_replica_server(
+            args.server,
+            placements[args.server],
+            host=args.host,
+            port=args.port,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -409,6 +527,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="quick write/read/crash demo")
     _add_seed(p_demo, default=0)
     p_demo.set_defaults(fn=cmd_demo)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run an emulation over real localhost sockets (asyncio)",
+    )
+    p_cluster.add_argument(
+        "--algorithm",
+        default="abd",
+        choices=sorted(_CLUSTER_TABLE),
+        help="registry algorithm to run (default: abd)",
+    )
+    p_cluster.add_argument("-k", type=int, default=None, help="writers")
+    p_cluster.add_argument("-n", type=int, default=None, help="servers")
+    p_cluster.add_argument(
+        "-f", type=int, default=None, help="failure threshold"
+    )
+    p_cluster.add_argument(
+        "--rounds", type=int, default=2, help="write/read rounds (default: 2)"
+    )
+    p_cluster.add_argument(
+        "--address",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="connect to an external `repro serve` process for the next"
+        " server index (repeatable; default: self-host every server)",
+    )
+    p_cluster.add_argument(
+        "--demo",
+        action="store_true",
+        help="self-hosted ABD n=3 f=1 demo (overrides the other flags)",
+    )
+    _add_seed(p_cluster, default=0)
+    p_cluster.set_defaults(fn=cmd_cluster)
+
+    p_serve = sub.add_parser(
+        "serve", help="host one sim server's replicas for `repro cluster`"
+    )
+    p_serve.add_argument(
+        "--algorithm",
+        default="abd",
+        choices=sorted(_CLUSTER_TABLE),
+        help="registry algorithm whose layout to serve (default: abd)",
+    )
+    p_serve.add_argument("-k", type=int, default=None, help="writers")
+    p_serve.add_argument("-n", type=int, default=None, help="servers")
+    p_serve.add_argument(
+        "-f", type=int, default=None, help="failure threshold"
+    )
+    p_serve.add_argument(
+        "--server",
+        type=int,
+        default=0,
+        metavar="INDEX",
+        help="which sim server's replicas to host (default: 0)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind host (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="bind port (default: ephemeral)"
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     return parser
 

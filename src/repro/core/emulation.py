@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -38,6 +39,9 @@ from typing import (
 )
 
 from repro.sim.scheduling import RandomScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.config import TransportConfig
 
 
 @runtime_checkable
@@ -94,7 +98,10 @@ class EmulationSpec:
     not take them); ``seed`` seeds the scheduler (``None`` uses the
     simulator default, ``RandomScheduler(0)``); ``options`` carries any
     extra constructor keywords as a sorted item tuple so the spec stays
-    hashable.
+    hashable; ``transport`` is an optional
+    :class:`~repro.net.config.TransportConfig` (``None`` means direct
+    in-process delivery) — it is part of the spec's identity, so the
+    experiment engine's result cache keys on it.
     """
 
     algorithm: str
@@ -103,13 +110,14 @@ class EmulationSpec:
     f: "Optional[int]" = None
     seed: "Optional[int]" = None
     options: "Tuple[Tuple[str, Any], ...]" = ()
+    transport: "Optional[TransportConfig]" = None
 
     @classmethod
     def make(cls, algorithm: str, **params) -> "EmulationSpec":
         """Build a spec, routing unknown keywords into ``options``."""
         known = {
             key: params.pop(key)
-            for key in ("k", "n", "f", "seed")
+            for key in ("k", "n", "f", "seed", "transport")
             if key in params
         }
         return cls(
@@ -134,7 +142,12 @@ class EmulationSpec:
                 kwargs[name] = value
         if self.seed is not None:
             kwargs["scheduler"] = RandomScheduler(self.seed)
-        return factory(**kwargs)
+        emulation = factory(**kwargs)
+        if self.transport is not None:
+            # Attached after construction (before any trigger) so the
+            # seven emulation constructors stay transport-oblivious.
+            emulation.kernel.set_transport(self.transport.build())
+        return emulation
 
 
 @register_algorithm("ws-register")

@@ -19,6 +19,7 @@ store counters for the CLI summary.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import inspect
 import json
@@ -54,6 +55,24 @@ def experiment_code_version(experiment_id: str) -> str:
     return digest
 
 
+def _canonical_param(value: Any) -> Any:
+    """JSON fallback for non-JSON param values in cell identities.
+
+    Values that know their cache identity (``cache_payload()``, e.g.
+    :class:`~repro.net.config.TransportConfig`) and frozen dataclasses
+    (fault plans, emulation specs) are expanded structurally, tagged with
+    their type name — so an InProc cell and a Lossy cell can never hash
+    to the same key, and a changed fault parameter always changes the
+    key.  ``str()`` remains the last resort for plain opaque values.
+    """
+    payload = getattr(value, "cache_payload", None)
+    if callable(payload):
+        return {f"__{type(value).__name__}__": payload()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f"__{type(value).__name__}__": dataclasses.asdict(value)}
+    return str(value)
+
+
 def cell_key(cell: Cell, code_version: "Optional[str]" = None) -> str:
     """The cache key of a cell: sha256 over its normalized identity."""
     if code_version is None:
@@ -64,7 +83,7 @@ def cell_key(cell: Cell, code_version: "Optional[str]" = None) -> str:
         "seed": cell.seed,
         "code": code_version,
     }
-    blob = json.dumps(identity, sort_keys=True, default=str)
+    blob = json.dumps(identity, sort_keys=True, default=_canonical_param)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

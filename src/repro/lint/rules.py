@@ -29,7 +29,15 @@ from repro.lint.engine import (
 )
 
 #: directories holding code that must be deterministic and model-faithful.
-DETERMINISTIC_DIRS = ("repro/sim", "repro/core", "repro/consistency")
+#: repro/net is included: fault injection is seed-derived by design (the
+#: asyncio backend, the one legitimately nondeterministic module, has a
+#: file-level R002 exemption below).
+DETERMINISTIC_DIRS = (
+    "repro/sim",
+    "repro/core",
+    "repro/consistency",
+    "repro/net",
+)
 
 #: the Emulation protocol surface (see repro/core/emulation.py).
 EMULATION_SURFACE = (
@@ -124,8 +132,16 @@ class WallClockRule(Rule):
     title = "no wall-clock or environment reads in deterministic code"
 
     #: modules where wall-clock use is legitimate (orchestration, not
-    #: simulation): the experiment engine and the CLI.
-    EXEMPT = ("repro/exec", "repro/cli.py")
+    #: simulation): the experiment engine, the CLI, and the asyncio
+    #: transport — the one module that talks to a real network, where
+    #: startup and idle-drain deadlines are physical waits, not hidden
+    #: simulation inputs (kernel time stays the step counter; see the
+    #: module docstring of repro/net/asyncio_transport.py).
+    EXEMPT = (
+        "repro/exec",
+        "repro/cli.py",
+        "repro/net/asyncio_transport.py",
+    )
 
     #: forbidden dotted-name suffixes (module alias, attribute).
     FORBIDDEN: "Set[Tuple[str, str]]" = {
@@ -319,16 +335,26 @@ class BaseObjectDisciplineRule(Rule):
     id = "R004"
     title = "base objects are accessed only through trigger/respond"
 
-    SCOPE = ("repro/core",)
+    #: transports relay messages but must not mutate object state either.
+    SCOPE = ("repro/core", "repro/net")
 
     #: ObjectMap methods that mutate the deployment or bypass the kernel.
     MUTATORS = {"crash_server", "add_object", "add_server", "host", "apply"}
+
+    #: kernel delivery-seam methods (request arrival, response delivery).
+    #: Only the transport layer may call them: a protocol that marks its
+    #: own operations as arrived (or hand-delivers responses) bypasses
+    #: the network model the same way a direct apply() bypasses the
+    #: object model.
+    DELIVERY_SEAM = {"arrive", "deliver"}
+    SEAM_SCOPE = ("repro/core",)
 
     def check(
         self, module: ModuleInfo, project: ProjectIndex
     ) -> "Iterator[Finding]":
         if not module.in_package_dirs(self.SCOPE):
             return
+        seam_scoped = module.in_package_dirs(self.SEAM_SCOPE)
         assert module.tree is not None
         for node in ast.walk(module.tree):
             targets: "List[ast.expr]" = []
@@ -381,6 +407,16 @@ class BaseObjectDisciplineRule(Rule):
                             f"'{method}()' on the object map bypasses the"
                             " kernel; crashes and effects must flow"
                             " through kernel actions",
+                        )
+                if seam_scoped and method in self.DELIVERY_SEAM:
+                    receiver = attribute_chain(node.func.value)
+                    if "kernel" in receiver:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"'{method}()' is the kernel's delivery seam;"
+                            " only the transport layer (repro/net) may"
+                            " mark arrivals or deliver responses",
                         )
 
 
@@ -513,7 +549,7 @@ class IterationOrderRule(Rule):
     id = "R006"
     title = "no iteration over unsorted sets in scheduler/kernel paths"
 
-    SCOPE = ("repro/sim", "repro/core")
+    SCOPE = ("repro/sim", "repro/core", "repro/net")
 
     #: ObjectMap API known to return sets.
     SET_METHODS = {"image", "preimage"}

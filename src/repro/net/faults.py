@@ -1,0 +1,267 @@
+"""Composable, deterministic network-fault models.
+
+Every fault decision is a pure function of ``(plan, seed, message)`` —
+no hidden RNG state, no wall clock.  The per-message stream is derived
+the same way :class:`~repro.sim.chaos.ChaosEnvironment` derives its
+veto stream: ``random.Random(hash((seed, op_id, leg, ...)))``, relying
+on int-tuple ``hash()`` being deterministic across processes (only str
+hashing is salted).  Two runs of the same plan with the same seed see
+identical drops, duplicates, delays and reorderings, whatever the
+scheduler does in between.
+
+These faults are **out-of-model stressors** with respect to the paper:
+the space bounds assume reliable (if asynchronous) channels, so under a
+:class:`FaultPlan` only *safety* is asserted; liveness holds only under
+eventual delivery to ``n - f`` servers, which
+:meth:`~repro.net.lossy.LossyTransport.flush_idle` realizes
+(docs/MODEL.md, "Transports and the paper's assumptions").
+
+The message-level concerns previously expressed as scheduler weights
+(:mod:`repro.sim.latency`) and veto storms (:mod:`repro.sim.chaos`)
+have direct fault-plan analogues here: :func:`straggler_plan` gives a
+slow server long request delays instead of a small scheduling weight,
+and :func:`chaos_faults` turns the veto-window idea into delivery
+jitter plus reordering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: message legs, used to split the per-message random stream.
+REQUEST = "req"
+RESPONSE = "resp"
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Lose the message with the given probability."""
+
+    probability: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+
+    def decide(self, rng: "random.Random") -> bool:
+        return self.probability > 0 and rng.random() < self.probability
+
+
+@dataclass(frozen=True)
+class Duplicate:
+    """Deliver a second copy of the message, ``offset`` ticks later."""
+
+    probability: float = 0.0
+    offset: int = 5
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("duplicate probability must be in [0, 1)")
+        if self.offset < 1:
+            raise ValueError("duplicate offset must be >= 1")
+
+    def decide(self, rng: "random.Random") -> bool:
+        return self.probability > 0 and rng.random() < self.probability
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Uniform delivery-latency distribution, in kernel ticks."""
+
+    low: int = 0
+    high: int = 0
+
+    def __post_init__(self):
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("need 0 <= low <= high")
+
+    def sample(self, rng: "random.Random") -> int:
+        if self.high == 0:
+            return 0
+        return rng.randint(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Perturb arrival order: with the given probability, push the
+    message up to ``window`` extra ticks past its sampled delay, letting
+    later messages overtake it."""
+
+    probability: float = 0.0
+    window: int = 10
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("reorder probability must be in [0, 1)")
+        if self.window < 1:
+            raise ValueError("reorder window must be >= 1")
+
+    def jitter(self, rng: "random.Random") -> int:
+        if self.probability > 0 and rng.random() < self.probability:
+            return rng.randint(1, self.window)
+        return 0
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut the given servers off between kernel times ``start`` and
+    ``heal``.  ``heal=None`` means the partition never heals: messages
+    to/from those servers sent during it are lost outright."""
+
+    start: int
+    heal: "Optional[int]"
+    servers: "Tuple[int, ...]"
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError("partition start must be non-negative")
+        if self.heal is not None and self.heal <= self.start:
+            raise ValueError("partition must heal strictly after it starts")
+        object.__setattr__(self, "servers", tuple(sorted(set(self.servers))))
+
+    def covers(self, time: int, server_index: int) -> bool:
+        if server_index not in self.servers:
+            return False
+        if time < self.start:
+            return False
+        return self.heal is None or time < self.heal
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """The fault profile of one client↔server link (both legs)."""
+
+    drop: "Drop" = field(default_factory=Drop)
+    duplicate: "Duplicate" = field(default_factory=Duplicate)
+    delay: "Delay" = field(default_factory=Delay)
+    reorder: "Reorder" = field(default_factory=Reorder)
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """Everything that will happen to one message, decided at send time."""
+
+    dropped: bool = False
+    delay: int = 0
+    duplicated: bool = False
+    duplicate_delay: int = 0
+    reordered: bool = False
+    partitioned: bool = False
+    heal_time: "Optional[int]" = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full network weather report: a default link profile, per-server
+    overrides, and a partition schedule.
+
+    ``per_server`` maps server *index* to a :class:`LinkFaults` override
+    (stored as a sorted tuple of pairs so the plan stays hashable and
+    picklable for :class:`~repro.net.config.TransportConfig`).
+    """
+
+    default: "LinkFaults" = field(default_factory=LinkFaults)
+    per_server: "Tuple[Tuple[int, LinkFaults], ...]" = ()
+    partitions: "Tuple[Partition, ...]" = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "per_server", tuple(sorted(self.per_server))
+        )
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(sorted(self.partitions, key=lambda p: (p.start, p.servers))),
+        )
+
+    def link(self, server_index: int) -> "LinkFaults":
+        for index, faults in self.per_server:
+            if index == server_index:
+                return faults
+        return self.default
+
+    def partition_covering(
+        self, time: int, server_index: int
+    ) -> "Optional[Partition]":
+        for partition in self.partitions:
+            if partition.covers(time, server_index):
+                return partition
+        return None
+
+    def fate(
+        self,
+        seed: int,
+        op_id: int,
+        leg: str,
+        server_index: int,
+        time: int,
+    ) -> "MessageFate":
+        """Decide, deterministically, what happens to one message.
+
+        The stream is keyed by (seed, op id, leg) so the two legs of an
+        operation get independent fates, yet replays are exact.  Fate
+        order matters: partition, drop, delay+reorder, duplicate — each
+        consumes a fixed number of draws so adding a fault never shifts
+        another message's stream.
+        """
+        rng = random.Random(hash((seed, op_id, leg, server_index)))
+        partition = self.partition_covering(time, server_index)
+        if partition is not None:
+            if partition.heal is None:
+                return MessageFate(
+                    dropped=True, partitioned=True, heal_time=None
+                )
+            return MessageFate(partitioned=True, heal_time=partition.heal)
+        link = self.link(server_index)
+        if link.drop.decide(rng):
+            return MessageFate(dropped=True)
+        delay = link.delay.sample(rng)
+        jitter = link.reorder.jitter(rng)
+        duplicated = link.duplicate.decide(rng)
+        return MessageFate(
+            delay=delay + jitter,
+            duplicated=duplicated,
+            duplicate_delay=delay + jitter + link.duplicate.offset,
+            reordered=jitter > 0,
+        )
+
+
+def straggler_plan(
+    slow_servers,
+    slow_delay: "Tuple[int, int]" = (20, 60),
+    base_delay: "Tuple[int, int]" = (0, 2),
+) -> "FaultPlan":
+    """A fleet with slow links to some servers — the network-level
+    analogue of :func:`repro.sim.latency.straggler_fleet` (which skews
+    the scheduler instead of the channel).
+
+    ``slow_servers`` is an iterable of server indices.
+    """
+    slow = LinkFaults(delay=Delay(*slow_delay))
+    return FaultPlan(
+        default=LinkFaults(delay=Delay(*base_delay)),
+        per_server=tuple(
+            (index, slow) for index in sorted(set(slow_servers))
+        ),
+    )
+
+
+def chaos_faults(
+    drop: float = 0.1,
+    duplicate: float = 0.05,
+    reorder: float = 0.3,
+    max_delay: int = 30,
+) -> "FaultPlan":
+    """An everything-at-once weather front — the channel-level analogue
+    of :class:`repro.sim.chaos.ChaosEnvironment` (which vetoes responds
+    instead of perturbing messages)."""
+    return FaultPlan(
+        default=LinkFaults(
+            drop=Drop(drop),
+            duplicate=Duplicate(duplicate),
+            delay=Delay(0, max_delay),
+            reorder=Reorder(reorder, window=max(1, max_delay // 2)),
+        )
+    )

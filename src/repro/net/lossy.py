@@ -1,0 +1,179 @@
+"""Seeded network-fault injection behind the transport seam.
+
+:class:`LossyTransport` runs a :class:`~repro.net.faults.FaultPlan`
+between clients and servers: every request and response leg gets a
+deterministic :class:`~repro.net.faults.MessageFate` (drop, delay,
+reorder jitter, duplicate, partition hold) decided at send time from
+``hash((seed, op_id, leg, server))``.  In-flight messages sit in
+delivery heaps keyed by (due tick, send sequence); the kernel pumps the
+heaps at the top of every step and, when nothing else is enabled,
+force-flushes the earliest message — so every message that is not
+dropped is *eventually* delivered (the fairness assumption under which
+liveness may be asserted; see docs/MODEL.md).
+
+Relative to the paper's model these are out-of-model stressors: the
+kernel still executes one action per step and operations still take
+effect at their respond step, but a request may reach its server late,
+twice, or never.  Safety checkers must pass regardless; liveness only
+holds for plans that preserve eventual delivery to ``n - f`` servers
+(no drops beyond ``f``, partitions that heal).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Tuple
+
+from repro.net.faults import REQUEST, RESPONSE, FaultPlan
+from repro.net.transport import Transport
+
+#: counter names exposed by :meth:`LossyTransport.stats`.
+COUNTERS = (
+    "requests_sent",
+    "responses_sent",
+    "dropped_requests",
+    "dropped_responses",
+    "duplicate_requests",
+    "duplicate_responses",
+    "held_by_partition",
+    "reordered",
+    "flushes",
+)
+
+
+class LossyTransport(Transport):
+    """Deterministic lossy delivery driven by a :class:`FaultPlan`.
+
+    ``seed`` and the plan fully determine every fault decision; the
+    arrival *times* additionally depend on when the kernel pumps, which
+    is itself a deterministic function of the scheduler seed — so a
+    seeded run through this transport replays exactly.
+    """
+
+    active = True
+    remote = False
+
+    def __init__(self, plan: "FaultPlan" = None, seed: int = 0):
+        super().__init__()
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = seed
+        self._send_seq = 0
+        #: op-id values whose request has been delivered to the server.
+        self._arrived: "set[int]" = set()
+        #: in-flight request legs: heap of (due tick, send seq, op).
+        self._requests: "List[Tuple[int, int, Any]]" = []
+        #: in-flight response legs: heap of (due tick, send seq, op).
+        self._responses: "List[Tuple[int, int, Any]]" = []
+        self.counters: "Dict[str, int]" = {name: 0 for name in COUNTERS}
+
+    # -- send side ---------------------------------------------------------
+
+    def _fate(self, op, leg: str):
+        kernel = self._kernel
+        server = kernel.object_map.server_of(op.object_id)
+        return kernel.time, self.plan.fate(
+            self.seed, op.op_id.value, leg, server.index, kernel.time
+        )
+
+    def _enqueue(self, queue, op, now: int, fate) -> None:
+        if fate.partitioned:
+            self.counters["held_by_partition"] += 1
+            # held until the partition heals (covers() guarantees
+            # heal_time > now here; heal=None was already a drop).
+            heapq.heappush(queue, (fate.heal_time, self._send_seq, op))
+            self._send_seq += 1
+            return
+        if fate.reordered:
+            self.counters["reordered"] += 1
+        heapq.heappush(queue, (now + fate.delay, self._send_seq, op))
+        self._send_seq += 1
+        if fate.duplicated:
+            heapq.heappush(
+                queue, (now + fate.duplicate_delay, self._send_seq, op)
+            )
+            self._send_seq += 1
+
+    def send_request(self, op) -> None:
+        now, fate = self._fate(op, REQUEST)
+        self.counters["requests_sent"] += 1
+        if fate.dropped:
+            self.counters["dropped_requests"] += 1
+            return
+        if fate.duplicated:
+            self.counters["duplicate_requests"] += 1
+        self._enqueue(self._requests, op, now, fate)
+
+    def send_response(self, op) -> None:
+        now, fate = self._fate(op, RESPONSE)
+        self.counters["responses_sent"] += 1
+        if fate.dropped:
+            self.counters["dropped_responses"] += 1
+            return
+        if fate.duplicated:
+            self.counters["duplicate_responses"] += 1
+        self._enqueue(self._responses, op, now, fate)
+
+    # -- oracle ------------------------------------------------------------
+
+    def request_arrived(self, op) -> bool:
+        return op.op_id.value in self._arrived
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver_request(self, op) -> None:
+        self._arrived.add(op.op_id.value)
+        # arrive() tolerates duplicates, crashed objects and already-
+        # responded ops, so every queued copy can be handed over as-is.
+        self._kernel.arrive(op.op_id)
+
+    def _deliver_response(self, op) -> None:
+        self._kernel.deliver(op)
+
+    def pump(self) -> None:
+        now = self._kernel.time
+        requests, responses = self._requests, self._responses
+        while requests and requests[0][0] <= now:
+            self._deliver_request(heapq.heappop(requests)[2])
+        while responses and responses[0][0] <= now:
+            self._deliver_response(heapq.heappop(responses)[2])
+
+    def flush_idle(self) -> bool:
+        """Force the earliest in-flight message through.
+
+        The kernel clock only advances on steps, so if every client is
+        blocked on a delayed (or partition-held) message the clock would
+        never reach its due tick.  Flushing delivers the earliest-due
+        message anyway — this is exactly the eventual-delivery fairness
+        assumption: the schedule may stall a message arbitrarily, but
+        not forever.  For a partition-held message, flushing models the
+        partition healing once the system has otherwise fully drained.
+        """
+        request_head = self._requests[0] if self._requests else None
+        response_head = self._responses[0] if self._responses else None
+        if request_head is None and response_head is None:
+            return False
+        self.counters["flushes"] += 1
+        if response_head is None or (
+            request_head is not None and request_head[:2] <= response_head[:2]
+        ):
+            self._deliver_request(heapq.heappop(self._requests)[2])
+        else:
+            self._deliver_response(heapq.heappop(self._responses)[2])
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def in_flight(self) -> int:
+        return len(self._requests) + len(self._responses)
+
+    def stats(self) -> "Dict[str, int]":
+        snapshot = dict(self.counters)
+        snapshot["in_flight"] = self.in_flight()
+        return snapshot
+
+    def describe(self) -> "Dict[str, Any]":
+        return {
+            "transport": "lossy",
+            "seed": self.seed,
+            "counters": dict(self.counters),
+        }

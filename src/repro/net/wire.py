@@ -1,0 +1,103 @@
+"""Wire codec for the asyncio transport.
+
+Newline-delimited JSON with tagged encodings for the two non-JSON value
+shapes the protocols put into base objects: tuples (argument lists must
+round-trip as tuples — ``LowLevelOp.args`` is one, and CAS compares
+``==`` on whatever it is handed) and
+:class:`~repro.sim.values.TSVal` timestamps.  The codec is deliberately
+closed: an unencodable value is an error, not a silent ``str()`` — a
+protocol that started shipping richer values over the wire should extend
+the codec, not corrupt comparisons.
+
+Request frame::
+
+    {"op": 7, "client": 0, "object": 2, "kind": "write", "args": [...]}
+
+Response frame::
+
+    {"op": 7, "result": ...}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.values import TSVal
+
+_TSVAL_TAG = "__tsval__"
+_TUPLE_TAG = "__tuple__"
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one value into JSON-safe form (recursive, tagged)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, TSVal):
+        return {_TSVAL_TAG: [value.ts, value.wid, encode_value(value.val)]}
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in sorted(value.items()):
+            if not isinstance(key, str):
+                raise TypeError(f"non-string dict key on the wire: {key!r}")
+            encoded[key] = encode_value(item)
+        return encoded
+    raise TypeError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, dict):
+        if _TSVAL_TAG in value:
+            ts, wid, val = value[_TSVAL_TAG]
+            return TSVal(ts=ts, wid=wid, val=decode_value(val))
+        if _TUPLE_TAG in value:
+            return tuple(decode_value(item) for item in value[_TUPLE_TAG])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def encode_request(op: "LowLevelOp") -> bytes:
+    frame = {
+        "op": op.op_id.value,
+        "client": op.client_id.index,
+        "object": op.object_id.index,
+        "kind": op.kind.value,
+        "args": encode_value(list(op.args)),
+    }
+    return (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> "LowLevelOp":
+    """Rebuild the operation on the server side.
+
+    ``trigger_time`` is not meaningful across the wire and is set to 0;
+    the authoritative timing lives in the client-side kernel.
+    """
+    frame = json.loads(line.decode("utf-8"))
+    return LowLevelOp(
+        op_id=OpId(frame["op"]),
+        client_id=ClientId(frame["client"]),
+        object_id=ObjectId(frame["object"]),
+        kind=OpKind(frame["kind"]),
+        args=tuple(decode_value(frame["args"])),
+        trigger_time=0,
+    )
+
+
+def encode_response(op_value: int, result: Any) -> bytes:
+    frame = {"op": op_value, "result": encode_value(result)}
+    return (json.dumps(frame, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_response(line: bytes) -> "Dict[str, Any]":
+    frame = json.loads(line.decode("utf-8"))
+    return {"op": frame["op"], "result": decode_value(frame["result"])}

@@ -10,6 +10,13 @@ Together with :class:`~repro.sim.scheduling.RandomScheduler` this gives
 runs that are much wilder than random scheduling alone — responds go
 through veto windows that reorder them across long stretches — which is
 exactly the weather safety properties must survive.
+
+The *message-level* expression of the same concern lives in
+:func:`repro.net.faults.chaos_faults`: a
+:class:`~repro.net.lossy.LossyTransport` that delays, reorders, drops
+and duplicates messages in flight, instead of vetoing responds.  Vetoes
+stay in-model (the lower-bound adversary's power); message faults are
+out-of-model stressors under which only safety is asserted.
 """
 
 from __future__ import annotations

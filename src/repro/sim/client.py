@@ -163,6 +163,8 @@ class ClientRuntime:
         self.active_name: Optional[str] = None
         #: ids of this client's pending low-level ops
         self.pending_ops: "set[OpId]" = set()
+        #: duplicate response deliveries dropped (lossy transports only)
+        self.duplicate_responses = 0
         # wired by the kernel at registration:
         self._kernel = None
         # Incremental-scheduler poll state: the cached result of the last
@@ -302,7 +304,17 @@ class ClientRuntime:
         return handle
 
     def deliver_response(self, op: LowLevelOp) -> None:
-        """Called by the kernel when one of our low-level ops responds."""
+        """Called by the kernel when one of our low-level ops responds.
+
+        Idempotent per operation: a lossy transport may deliver the same
+        response twice (duplication faults), and ``on_response`` handlers
+        are not required to cope — the second copy is counted and
+        dropped.  Responses only ever follow a trigger by this client, so
+        ``pending_ops`` membership is exactly "not yet delivered".
+        """
+        if op.op_id not in self.pending_ops:
+            self.duplicate_responses += 1
+            return
         self.pending_ops.discard(op.op_id)
         if self.crashed:
             return

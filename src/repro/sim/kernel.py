@@ -177,10 +177,21 @@ class Kernel:
       :meth:`Environment.veto_epoch` token.
     """
 
-    def __init__(self, object_map: ObjectMap, scheduler, environment=None):
+    def __init__(
+        self, object_map: ObjectMap, scheduler, environment=None, transport=None
+    ):
         self.object_map = object_map
         self.scheduler = scheduler
         self.environment = environment or Environment()
+        if transport is None:
+            # Imported here: repro.net sits above the kernel in the layer
+            # diagram (transports call back into arrive/deliver), so the
+            # module-level import would be circular.
+            from repro.net.transport import InProcTransport
+
+            transport = InProcTransport()
+        self.transport = transport
+        transport.bind(self)
         self.time = 0
         self.clients: "Dict[ClientId, ClientRuntime]" = {}
         self.ops: "Dict[OpId, LowLevelOp]" = {}
@@ -210,6 +221,22 @@ class Kernel:
         self._subs_step: "List[Callable]" = []
 
     # -- setup ---------------------------------------------------------------
+
+    def set_transport(self, transport) -> None:
+        """Swap the transport in before the run starts.
+
+        Exists so :meth:`EmulationSpec.build <repro.core.emulation.EmulationSpec.build>`
+        can attach the configured transport after the emulation
+        constructor wired the kernel.  Swapping mid-run would strand
+        in-flight messages, so it is refused once anything was triggered.
+        """
+        if self.ops:
+            raise RuntimeError(
+                "set_transport after operations were triggered; the"
+                " transport must be in place before the run starts"
+            )
+        self.transport = transport
+        transport.bind(self)
 
     def add_client(
         self, client_id: ClientId, protocol: ClientProtocol
@@ -321,21 +348,50 @@ class Kernel:
         self._next_op += 1
         self.ops[op.op_id] = op
         self.pending[op.op_id] = op
-        if not obj.crashed:
-            # Fresh op ids are strictly increasing, so appending here keeps
-            # _respond_actions in sorted order.
-            self._respond_actions[op.op_id] = Action(
-                ActionKind.RESPOND, op_id=op.op_id
-            )
+        # The request leg belongs to the transport: the op becomes
+        # respondable when (and if) the transport delivers it via arrive().
+        self.transport.send_request(op)
         if self._subs_trigger:
             event = TriggerEvent(self.time, op)
             for emit in self._subs_trigger:
                 emit(event)
         return op
 
+    def arrive(self, op_id: OpId) -> None:
+        """A request leg reached its server: the op becomes respondable.
+
+        Transport-facing.  Tolerates duplicate arrivals, arrivals for ops
+        that already responded, and arrivals at crashed objects (all
+        no-ops).  The in-process transport calls this inside
+        :meth:`trigger` with strictly increasing op ids, preserving the
+        append-in-sorted-order fast path; a lossy transport may deliver
+        out of order, in which case the sorted ``_respond_actions``
+        invariant is restored by rebuilding.
+        """
+        op = self.pending.get(op_id)
+        if op is None:
+            return  # already responded (duplicate or stale delivery)
+        actions = self._respond_actions
+        if op_id in actions:
+            return  # duplicate delivery
+        if self.object_map.object(op.object_id).crashed:
+            return  # arrived at a dead server: never respondable
+        action = Action(ActionKind.RESPOND, op_id=op_id)
+        if actions and op_id < next(reversed(actions)):
+            # Out-of-order arrival: re-establish ascending op-id order.
+            actions[op_id] = action
+            self._respond_actions = dict(sorted(actions.items()))
+        else:
+            actions[op_id] = action
+
     def _respond(self, op: LowLevelOp) -> None:
-        obj = self.object_map.object(op.object_id)
-        op.result = obj.apply(op)
+        transport = self.transport
+        if transport.remote:
+            # The effect was applied by the remote replica; the kernel's
+            # local objects are an unconsulted shadow.
+            op.result = transport.result_for(op)
+        else:
+            op.result = self.object_map.object(op.object_id).apply(op)
         op.respond_time = self.time
         del self.pending[op.op_id]
         self._respond_actions.pop(op.op_id, None)
@@ -344,6 +400,12 @@ class Kernel:
             event = RespondEvent(self.time, op)
             for emit in self._subs_respond:
                 emit(event)
+        # The response leg belongs to the transport: the client learns of
+        # the respond when (and if) the transport delivers it.
+        transport.send_response(op)
+
+    def deliver(self, op: LowLevelOp) -> None:
+        """A response leg reached its client (transport-facing)."""
         client = self.clients.get(op.client_id)
         if client is not None:
             client.deliver_response(op)
@@ -382,6 +444,7 @@ class Kernel:
                 if pending[op_id].object_id in gone
             ]:
                 del self._respond_actions[op_id]
+            self.transport.on_server_crash(server_id, crashed)
         if self._subs_crash:
             event = CrashEvent(self.time, server_id=server_id)
             for emit in self._subs_crash:
@@ -410,9 +473,12 @@ class Kernel:
         for client_id in sorted(self.clients):
             if self.clients[client_id].enabled():
                 actions.append(Action(ActionKind.CLIENT, client_id=client_id))
+        transport = self.transport
         for op_id in sorted(self.pending):
             op = self.pending[op_id]
-            if not self.object_map.object(op.object_id).crashed:
+            if not self.object_map.object(
+                op.object_id
+            ).crashed and transport.request_arrived(op):
                 actions.append(Action(ActionKind.RESPOND, op_id=op_id))
         return actions
 
@@ -547,19 +613,29 @@ class Kernel:
         same seed.
         """
         collect = self._collect_enabled if incremental else self.enabled_actions
+        # Active transports hold in-flight messages that must be pumped
+        # each step; the in-process transport has none, and skipping the
+        # calls keeps its hot path identical to the pre-seam kernel.
+        transport = self.transport if self.transport.active else None
         steps = 0
         try:
             while steps < max_steps:
                 if until is not None and until(self):
                     return RunResult(steps, "until")
+                if transport is not None:
+                    transport.pump()
                 enabled = collect()
                 if not enabled:
+                    if transport is not None and transport.flush_idle():
+                        continue  # a delivery landed: re-evaluate
                     return RunResult(steps, "quiescent")
                 allowed = self._filter_allowed(enabled)
                 if not allowed:
                     if self.environment.on_stall(self):
                         allowed = self._filter_allowed(collect())
                     if not allowed:
+                        if transport is not None and transport.flush_idle():
+                            continue  # an in-flight delivery may unblock
                         return RunResult(steps, "blocked")
                 action = self.scheduler.choose(allowed, self)
                 self.execute(action)

@@ -9,6 +9,13 @@ positive probability, so fair runs remain fair almost surely).
 
 Useful for stress-testing the emulations' wait-freedom under skew and for
 benchmarks that want heterogeneous fleets.
+
+The *message-level* expression of the same concern — slow links instead
+of a slow scheduler — lives in :func:`repro.net.faults.straggler_plan`:
+a :class:`~repro.net.lossy.LossyTransport` with long per-server delay
+distributions delays the straggler's messages in flight rather than its
+turns.  Prefer that form when the question is about the network; keep
+this scheduler when the question is about scheduling fairness itself.
 """
 
 from __future__ import annotations

@@ -63,11 +63,14 @@ def build_system(
     scheduler: Optional[Scheduler] = None,
     environment: Optional[Environment] = None,
     history: Optional[History] = None,
+    transport=None,
 ) -> SimSystem:
     """Build a simulation from a placement list.
 
     ``placements[i]`` places object ``b_i`` (ids are assigned in order) on
-    the given server with the given type and initial value.
+    the given server with the given type and initial value.  ``transport``
+    is a ready :class:`~repro.net.transport.Transport` instance (``None``
+    selects direct in-process delivery).
     """
     if n_servers <= 0:
         raise ValueError("need at least one server")
@@ -85,6 +88,7 @@ def build_system(
         object_map,
         scheduler=scheduler or RandomScheduler(seed=0),
         environment=environment,
+        transport=transport,
     )
     # Note: an empty History is falsy (len == 0), so test against None.
     recorder = history if history is not None else History()

@@ -81,3 +81,50 @@ class TestCacheSemantics:
         execute_cell(_cell(), cache=cache)
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestTransportKeying:
+    """Transport configuration is part of a cell's identity: a lossy run
+    must never be served an InProc entry (or vice versa), and any change
+    to the fault plan or its seed must change the key."""
+
+    def test_transport_config_distinguishes_cells(self):
+        from repro.net import TransportConfig, chaos_faults
+
+        inproc = _cell(transport=TransportConfig.inproc())
+        lossy = _cell(transport=TransportConfig.lossy(chaos_faults(), seed=3))
+        assert cell_key(_cell()) != cell_key(inproc)
+        assert cell_key(inproc) != cell_key(lossy)
+
+    def test_fault_plan_parameters_change_the_key(self):
+        from repro.net import TransportConfig, chaos_faults
+
+        keys = {
+            cell_key(_cell(transport=TransportConfig.lossy(plan, seed=seed)))
+            for plan, seed in [
+                (chaos_faults(drop=0.1), 3),
+                (chaos_faults(drop=0.2), 3),
+                (chaos_faults(drop=0.1), 4),
+            ]
+        }
+        assert len(keys) == 3
+
+    def test_equal_configs_share_a_key(self):
+        from repro.net import TransportConfig, chaos_faults
+
+        first = _cell(transport=TransportConfig.lossy(chaos_faults(), seed=1))
+        second = _cell(transport=TransportConfig.lossy(chaos_faults(), seed=1))
+        assert cell_key(first) == cell_key(second)
+
+    def test_lossy_sweep_never_serves_an_inproc_hit(self, tmp_path):
+        from repro.net import TransportConfig, chaos_faults
+
+        cache = ResultCache(tmp_path / "cache")
+        inproc_cell = _cell(transport=TransportConfig.inproc())
+        cache.store(inproc_cell, {"payload": "inproc run"})
+
+        lossy_cell = _cell(
+            transport=TransportConfig.lossy(chaos_faults(), seed=3)
+        )
+        assert cache.load(lossy_cell) is None  # miss, not a stale hit
+        assert cache.load(inproc_cell) == {"payload": "inproc run"}

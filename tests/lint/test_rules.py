@@ -215,6 +215,34 @@ class TestR002:
         )
         assert result.active == []
 
+    def test_asyncio_transport_is_exempt(self, tmp_path):
+        # The one module that talks to a real network: its waits are
+        # physical deadlines, not simulation inputs (docs/LINTING.md).
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            started = time.monotonic()
+            """,
+            "R002",
+            name="repro/net/asyncio_transport.py",
+        )
+        assert result.active == []
+
+    def test_rest_of_the_transport_layer_is_not_exempt(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import time
+
+            started = time.monotonic()
+            """,
+            "R002",
+            name="repro/net/lossy.py",
+        )
+        assert rules_fired(result) == ["R002"]
+
     def test_simulated_time_is_clean(self, tmp_path):
         # Kernel step-time is the simulation's clock, not the wall clock.
         result = lint_source(
@@ -499,6 +527,80 @@ class TestR004:
         assert result.active == []
         assert len(result.suppressed) == 1
 
+    def test_transport_layer_is_in_scope_for_mutators(self, tmp_path):
+        # repro/net relays messages; it must not apply effects itself.
+        result = lint_source(
+            tmp_path,
+            """
+            def pump(self, op):
+                self.kernel.object_map.object(op.object_id).apply(op)
+            """,
+            "R004",
+            name="repro/net/fixture.py",
+        )
+        assert rules_fired(result) == ["R004"]
+
+
+class TestR004DeliverySeam:
+    def test_arrive_from_protocol_code_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def op_write(self, ctx, value):
+                op = ctx.trigger(self.register, "write", value)
+                ctx.kernel.arrive(op)
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+        assert "delivery seam" in result.active[0].message
+
+    def test_deliver_from_protocol_code_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def short_circuit(self, op):
+                self.kernel.deliver(op)
+            """,
+            "R004",
+        )
+        assert rules_fired(result) == ["R004"]
+
+    def test_transport_layer_may_call_the_seam(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def pump(self, op_id):
+                self._kernel.arrive(op_id)
+            """,
+            "R004",
+            name="repro/net/fixture.py",
+        )
+        assert result.active == []
+
+    def test_other_receivers_named_deliver_are_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def ship(self, courier, parcel):
+                courier.deliver(parcel)
+            """,
+            "R004",
+        )
+        assert result.active == []
+
+    def test_suppression_silences(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def short_circuit(self, op):
+                self.kernel.deliver(op)  # repro-lint: disable=R004 fixture
+            """,
+            "R004",
+        )
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
 
 # -- R005: listener hygiene --------------------------------------------------
 
@@ -592,6 +694,21 @@ class TestR005:
 
 
 class TestR006:
+    def test_transport_layer_is_in_scope(self, tmp_path):
+        # a transport draining arrivals in set order would leak hash
+        # order into the delivery sequence the kernel observes.
+        result = lint_source(
+            tmp_path,
+            """
+            def drain(self):
+                for op_id in set(self._arrived):
+                    self._kernel.arrive(op_id)
+            """,
+            "R006",
+            name="repro/net/fixture.py",
+        )
+        assert rules_fired(result) == ["R006"]
+
     def test_iterating_image_fires(self, tmp_path):
         result = lint_source(
             tmp_path,

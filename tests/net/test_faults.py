@@ -1,0 +1,127 @@
+"""Fault models: validation, determinism, composition."""
+
+import pytest
+
+from repro.net.faults import (
+    REQUEST,
+    RESPONSE,
+    Delay,
+    Drop,
+    Duplicate,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    Reorder,
+    chaos_faults,
+    straggler_plan,
+)
+
+
+class TestValidation:
+    def test_probabilities_must_be_sub_one(self):
+        with pytest.raises(ValueError):
+            Drop(1.0)
+        with pytest.raises(ValueError):
+            Duplicate(-0.1)
+        with pytest.raises(ValueError):
+            Reorder(1.5)
+
+    def test_delay_bounds(self):
+        with pytest.raises(ValueError):
+            Delay(5, 2)
+        with pytest.raises(ValueError):
+            Delay(-1, 2)
+
+    def test_partition_must_heal_after_start(self):
+        with pytest.raises(ValueError):
+            Partition(start=10, heal=10, servers=(0,))
+        Partition(start=10, heal=11, servers=(0,))  # ok
+
+    def test_partition_servers_are_normalized(self):
+        partition = Partition(start=0, heal=None, servers=(2, 0, 2))
+        assert partition.servers == (0, 2)
+
+
+class TestPartitionWindow:
+    def test_covers_window(self):
+        partition = Partition(start=10, heal=20, servers=(1,))
+        assert not partition.covers(9, 1)
+        assert partition.covers(10, 1)
+        assert partition.covers(19, 1)
+        assert not partition.covers(20, 1)
+        assert not partition.covers(15, 0)
+
+    def test_unhealed_partition_covers_forever(self):
+        partition = Partition(start=5, heal=None, servers=(0,))
+        assert partition.covers(1_000_000, 0)
+
+
+class TestFateDeterminism:
+    PLAN = chaos_faults(drop=0.2, duplicate=0.2, reorder=0.5, max_delay=40)
+
+    def test_same_inputs_same_fate(self):
+        for op_value in range(50):
+            first = self.PLAN.fate(7, op_value, REQUEST, 0, time=3)
+            second = self.PLAN.fate(7, op_value, REQUEST, 0, time=3)
+            assert first == second
+
+    def test_legs_are_independent_streams(self):
+        fates = {
+            (leg, op_value): self.PLAN.fate(7, op_value, leg, 0, time=0)
+            for leg in (REQUEST, RESPONSE)
+            for op_value in range(200)
+        }
+        request_fates = [fates[(REQUEST, i)] for i in range(200)]
+        response_fates = [fates[(RESPONSE, i)] for i in range(200)]
+        assert request_fates != response_fates
+
+    def test_seed_changes_fates(self):
+        fates_a = [self.PLAN.fate(1, i, REQUEST, 0, 0) for i in range(200)]
+        fates_b = [self.PLAN.fate(2, i, REQUEST, 0, 0) for i in range(200)]
+        assert fates_a != fates_b
+
+    def test_partition_overrides_link_faults(self):
+        plan = FaultPlan(
+            default=LinkFaults(drop=Drop(0.5)),
+            partitions=(Partition(start=0, heal=30, servers=(0,)),),
+        )
+        fate = plan.fate(0, 1, REQUEST, 0, time=10)
+        assert fate.partitioned and not fate.dropped
+        assert fate.heal_time == 30
+
+    def test_unhealed_partition_drops(self):
+        plan = FaultPlan(
+            partitions=(Partition(start=0, heal=None, servers=(0,)),)
+        )
+        fate = plan.fate(0, 1, REQUEST, 0, time=5)
+        assert fate.dropped and fate.partitioned
+
+
+class TestPlans:
+    def test_per_server_override(self):
+        slow = LinkFaults(delay=Delay(50, 60))
+        plan = FaultPlan(per_server=((2, slow),))
+        assert plan.link(2) is slow
+        assert plan.link(0) == LinkFaults()
+
+    def test_straggler_plan_slows_only_the_stragglers(self):
+        plan = straggler_plan([1], slow_delay=(30, 40), base_delay=(0, 0))
+        fast = plan.fate(0, 1, REQUEST, 0, time=0)
+        slow = plan.fate(0, 1, REQUEST, 1, time=0)
+        assert fast.delay == 0
+        assert 30 <= slow.delay <= 40
+
+    def test_chaos_faults_compose_everything(self):
+        plan = chaos_faults(drop=0.3, duplicate=0.3, reorder=0.5, max_delay=20)
+        fates = [plan.fate(11, i, REQUEST, 0, 0) for i in range(300)]
+        assert any(f.dropped for f in fates)
+        assert any(f.duplicated for f in fates)
+        assert any(f.reordered for f in fates)
+        assert any(f.delay > 0 for f in fates)
+
+    def test_plans_are_hashable_and_picklable(self):
+        import pickle
+
+        plan = chaos_faults()
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,0 +1,155 @@
+"""The transport seam itself: kernel wiring, arrival, delivery, dedup."""
+
+import pytest
+
+from repro.net import InProcTransport, TransportConfig
+from repro.net.transport import Transport
+from repro.sim.client import ClientRuntime
+from repro.sim.ids import ClientId, OpId
+from repro.sim.system import build_system
+from tests.conftest import ToyProtocol
+
+
+def _toy_system(transport=None, n_servers=1, placements=None):
+    system = build_system(
+        n_servers, placements or [(0, "register", None)], transport=transport
+    )
+    runtime = system.add_client(ClientId(0), ToyProtocol())
+    return system, runtime
+
+
+class TestDefaultWiring:
+    def test_kernel_defaults_to_inproc(self):
+        system, _ = _toy_system()
+        assert isinstance(system.kernel.transport, InProcTransport)
+        assert system.kernel.transport.kernel is system.kernel
+
+    def test_inproc_is_inactive_and_local(self):
+        transport = InProcTransport()
+        assert not transport.active
+        assert not transport.remote
+
+    def test_set_transport_before_run(self):
+        system, _ = _toy_system()
+        replacement = InProcTransport()
+        system.kernel.set_transport(replacement)
+        assert system.kernel.transport is replacement
+        assert replacement.kernel is system.kernel
+
+    def test_set_transport_refused_after_trigger(self):
+        system, runtime = _toy_system()
+        runtime.enqueue("write", "v")
+        assert system.run_to_quiescence().satisfied
+        with pytest.raises(RuntimeError, match="set_transport"):
+            system.kernel.set_transport(InProcTransport())
+
+    def test_config_roundtrip_builds_inproc(self):
+        transport = TransportConfig.inproc().build()
+        assert isinstance(transport, InProcTransport)
+        system, runtime = _toy_system(transport=transport)
+        runtime.enqueue("write", "v")
+        runtime.enqueue("read")
+        assert system.run_to_quiescence().satisfied
+        assert [op.result for op in system.history.all_ops()] == ["ack", "v"]
+
+
+class _ManualTransport(Transport):
+    """Holds requests until the test releases them (out of order)."""
+
+    active = True
+    remote = False
+
+    def __init__(self):
+        super().__init__()
+        self.held = []
+        self.arrived = set()
+
+    def send_request(self, op):
+        self.held.append(op.op_id)
+
+    def request_arrived(self, op):
+        return op.op_id in self.arrived
+
+    def send_response(self, op):
+        self._kernel.deliver(op)
+
+    def release(self, op_id):
+        self.held.remove(op_id)
+        self.arrived.add(op_id)
+        self._kernel.arrive(op_id)
+
+
+class TestArrival:
+    def test_out_of_order_arrival_restores_sorted_respond_actions(self):
+        transport = _ManualTransport()
+        system, runtime = _toy_system(transport=transport)
+        kernel = system.kernel
+        runtime.enqueue("write", "a")
+        kernel.force_client_step(ClientId(0))  # invoke: triggers op0
+        other = system.add_client(ClientId(1), ToyProtocol())
+        other.enqueue("write", "b")
+        kernel.force_client_step(ClientId(1))  # triggers op1
+        assert [op_id for op_id in transport.held] == [OpId(0), OpId(1)]
+
+        transport.release(OpId(1))  # later op arrives first
+        transport.release(OpId(0))
+        assert list(kernel._respond_actions) == [OpId(0), OpId(1)]
+        kernel.check_incremental()  # incremental view matches the oracle
+
+    def test_duplicate_and_stale_arrivals_are_noops(self):
+        transport = _ManualTransport()
+        system, runtime = _toy_system(transport=transport)
+        kernel = system.kernel
+        runtime.enqueue("write", "a")
+        kernel.force_client_step(ClientId(0))
+        transport.release(OpId(0))
+        kernel.arrive(OpId(0))  # duplicate arrival
+        assert list(kernel._respond_actions) == [OpId(0)]
+        kernel.force_respond(OpId(0))
+        kernel.arrive(OpId(0))  # stale arrival after the respond
+        assert list(kernel._respond_actions) == []
+
+    def test_oracle_excludes_unarrived_requests(self):
+        transport = _ManualTransport()
+        system, runtime = _toy_system(transport=transport)
+        kernel = system.kernel
+        runtime.enqueue("write", "a")
+        kernel.force_client_step(ClientId(0))
+        respond_ops = [
+            action.op_id
+            for action in kernel.enabled_actions()
+            if action.op_id is not None
+        ]
+        assert respond_ops == []  # pending but not arrived: not respondable
+        transport.release(OpId(0))
+        respond_ops = [
+            action.op_id
+            for action in kernel.enabled_actions()
+            if action.op_id is not None
+        ]
+        assert respond_ops == [OpId(0)]
+        kernel.check_incremental()
+
+
+class TestDuplicateResponses:
+    def test_second_delivery_is_counted_and_dropped(self):
+        class CountingProtocol(ToyProtocol):
+            def __init__(self):
+                super().__init__()
+                self.deliveries = 0
+
+            def on_response(self, ctx, op):
+                self.deliveries += 1
+                super().on_response(ctx, op)
+
+        protocol = CountingProtocol()
+        system = build_system(1, [(0, "register", None)])
+        runtime = system.add_client(ClientId(0), protocol)
+        runtime.enqueue("write", "v")
+        assert system.run_to_quiescence().satisfied
+        (op,) = system.kernel.ops.values()
+        assert protocol.deliveries == 1
+
+        system.kernel.deliver(op)  # a duplicated response leg
+        assert protocol.deliveries == 1  # handler not re-run
+        assert runtime.duplicate_responses == 1
