@@ -552,7 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="HOST:PORT",
         help="connect to an external `repro serve` process for the next"
-        " server index (repeatable; default: self-host every server)",
+        " server index (repeat to cover every server — all or none;"
+        " default: self-host every server)",
     )
     p_cluster.add_argument(
         "--demo",

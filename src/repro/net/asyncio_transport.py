@@ -115,7 +115,10 @@ class AsyncioTransport(Transport):
     sim server inside a background event-loop thread (single-process
     cluster, as ``repro cluster`` runs it); with addresses it connects
     to externally hosted ``repro serve`` processes, one ``host:port``
-    per server index.
+    per server index.  The two modes do not mix: the list must name an
+    address for *every* server or be empty — :meth:`bind` rejects a
+    partial list, because an op routed to an unlisted server would have
+    no connection to go out on and the run would stall silently.
     """
 
     active = True
@@ -154,6 +157,14 @@ class AsyncioTransport(Transport):
     def bind(self, kernel) -> None:
         super().bind(kernel)
         self._placements = snapshot_placements(kernel.object_map)
+        if self.addresses and len(self.addresses) != len(self._placements):
+            raise ValueError(
+                f"asyncio transport got {len(self.addresses)} address(es)"
+                f" for {len(self._placements)} servers: --address must be"
+                " given once per server index, in order (or not at all,"
+                " to self-host every server); mixing external and"
+                " self-hosted servers is not supported"
+            )
 
     def start(self) -> None:
         """Bring the event-loop thread and the cluster up (idempotent)."""

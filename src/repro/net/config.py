@@ -44,6 +44,12 @@ class TransportConfig:
             raise ValueError("a fault plan only applies to the lossy kind")
         if self.addresses and self.kind != "asyncio":
             raise ValueError("addresses only apply to the asyncio kind")
+        if self.kind == "lossy" and self.plan is None:
+            # Normalize: a bare lossy config means "no faults", which is
+            # exactly FaultPlan().  Filling it in here keeps directly
+            # constructed and .lossy()-built configs equal, so they hash
+            # to one result-cache cell instead of two.
+            object.__setattr__(self, "plan", FaultPlan())
         object.__setattr__(self, "addresses", tuple(self.addresses))
 
     # -- constructors ------------------------------------------------------
@@ -56,7 +62,7 @@ class TransportConfig:
     def lossy(
         cls, plan: "Optional[FaultPlan]" = None, seed: int = 0
     ) -> "TransportConfig":
-        return cls(kind="lossy", seed=seed, plan=plan or FaultPlan())
+        return cls(kind="lossy", seed=seed, plan=plan)
 
     @classmethod
     def asyncio(cls, addresses: "Tuple[str, ...]" = ()) -> "TransportConfig":

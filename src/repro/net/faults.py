@@ -3,11 +3,14 @@
 Every fault decision is a pure function of ``(plan, seed, message)`` —
 no hidden RNG state, no wall clock.  The per-message stream is derived
 the same way :class:`~repro.sim.chaos.ChaosEnvironment` derives its
-veto stream: ``random.Random(hash((seed, op_id, leg, ...)))``, relying
-on int-tuple ``hash()`` being deterministic across processes (only str
-hashing is salted).  Two runs of the same plan with the same seed see
-identical drops, duplicates, delays and reorderings, whatever the
-scheduler does in between.
+veto stream: ``random.Random(hash((seed, op_id, leg, ...)))``, where
+every member of the hashed tuple is an ``int`` — including the leg,
+which is an integer code, never a string — because int-tuple ``hash()``
+is deterministic across processes while str hashing is salted per
+process (``PYTHONHASHSEED``).  Two runs of the same plan with the same
+seed therefore see identical drops, duplicates, delays and
+reorderings, whatever the scheduler does in between and whichever
+process they run in.
 
 These faults are **out-of-model stressors** with respect to the paper:
 the space bounds assume reliable (if asynchronous) channels, so under a
@@ -30,9 +33,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-#: message legs, used to split the per-message random stream.
-REQUEST = "req"
-RESPONSE = "resp"
+#: message-leg codes, used to split the per-message random stream.
+#: Integer codes (not strings): the leg is hashed into the RNG key, and
+#: only an all-int tuple hashes identically across processes.
+REQUEST = 0
+RESPONSE = 1
 
 
 @dataclass(frozen=True)
@@ -194,14 +199,16 @@ class FaultPlan:
         self,
         seed: int,
         op_id: int,
-        leg: str,
+        leg: int,
         server_index: int,
         time: int,
     ) -> "MessageFate":
         """Decide, deterministically, what happens to one message.
 
-        The stream is keyed by (seed, op id, leg) so the two legs of an
-        operation get independent fates, yet replays are exact.  Fate
+        The stream is keyed by (seed, op id, leg code) so the two legs
+        of an operation get independent fates, yet replays are exact —
+        the key tuple is all ints, so its hash (and hence every fate)
+        is identical in every process regardless of hash salting.  Fate
         order matters: partition, drop, delay+reorder, duplicate — each
         consumes a fixed number of draws so adding a fault never shifts
         another message's stream.

@@ -4,7 +4,9 @@
 between clients and servers: every request and response leg gets a
 deterministic :class:`~repro.net.faults.MessageFate` (drop, delay,
 reorder jitter, duplicate, partition hold) decided at send time from
-``hash((seed, op_id, leg, server))``.  In-flight messages sit in
+``hash((seed, op_id, leg_code, server))`` — an all-int tuple, so the
+same seed replays the same fates in any process.  In-flight messages
+sit in
 delivery heaps keyed by (due tick, send sequence); the kernel pumps the
 heaps at the top of every step and, when nothing else is enabled,
 force-flushes the earliest message — so every message that is not
@@ -68,7 +70,7 @@ class LossyTransport(Transport):
 
     # -- send side ---------------------------------------------------------
 
-    def _fate(self, op, leg: str):
+    def _fate(self, op, leg: int):
         kernel = self._kernel
         server = kernel.object_map.server_of(op.object_id)
         return kernel.time, self.plan.fate(

@@ -116,6 +116,13 @@ class TestTransportKeying:
         second = _cell(transport=TransportConfig.lossy(chaos_faults(), seed=1))
         assert cell_key(first) == cell_key(second)
 
+    def test_direct_and_constructor_built_lossy_share_a_key(self):
+        from repro.net import TransportConfig
+
+        direct = _cell(transport=TransportConfig(kind="lossy"))
+        built = _cell(transport=TransportConfig.lossy())
+        assert cell_key(direct) == cell_key(built)
+
     def test_lossy_sweep_never_serves_an_inproc_hit(self, tmp_path):
         from repro.net import TransportConfig, chaos_faults
 

@@ -91,6 +91,19 @@ class TestPlacementSnapshot:
                 assert type_name == "max-register"
 
 
+class TestAddressValidation:
+    def test_partial_address_list_is_rejected_at_bind(self):
+        # one address for three servers: an op routed to s1 or s2 would
+        # have no connection and the run would stall silently, so bind()
+        # must refuse before any socket is opened.
+        spec = EmulationSpec.make(
+            "abd", n=3, f=1, seed=0,
+            transport=TransportConfig.asyncio(("127.0.0.1:9999",)),
+        )
+        with pytest.raises(ValueError, match="1 address"):
+            spec.build()
+
+
 def run_cluster(algorithm, seed=0, rounds=2):
     params, write_op, read_op, value_kind, _ = SCENARIOS[algorithm]
     spec = EmulationSpec.make(

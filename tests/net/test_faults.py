@@ -1,5 +1,11 @@
 """Fault models: validation, determinism, composition."""
 
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.net.faults import (
@@ -95,6 +101,60 @@ class TestFateDeterminism:
         )
         fate = plan.fate(0, 1, REQUEST, 0, time=5)
         assert fate.dropped and fate.partitioned
+
+
+#: child program for the cross-process test: same plan, same fate keys,
+#: printed as JSON.  Runs under a pinned, different hash salt — if fate()
+#: ever hashes a str (leg names, say), the salted hash diverges and the
+#: fates stop matching the parent's.
+_CHILD_PROGRAM = """
+import dataclasses, json
+from repro.net.faults import REQUEST, RESPONSE, chaos_faults
+
+plan = chaos_faults(drop=0.2, duplicate=0.2, reorder=0.5, max_delay=40)
+fates = [
+    dataclasses.astuple(plan.fate(7, op_value, leg, server, 0))
+    for op_value in range(100)
+    for leg in (REQUEST, RESPONSE)
+    for server in (0, 1)
+]
+print(json.dumps(fates))
+"""
+
+
+class TestCrossProcessDeterminism:
+    """Fate streams must replay in *other* processes, not just this one:
+    the ResultCache persists lossy results across sessions and the CI
+    smoke job compares history digests from separate interpreters."""
+
+    def test_leg_codes_are_ints(self):
+        # the leg goes into the hashed RNG key; str hashing is salted
+        # per process, so a string here would break cross-process replay.
+        assert isinstance(REQUEST, int)
+        assert isinstance(RESPONSE, int)
+        assert REQUEST != RESPONSE
+
+    def test_fates_survive_a_different_hash_salt(self):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "424242"
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        child = json.loads(
+            subprocess.run(
+                [sys.executable, "-c", _CHILD_PROGRAM],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+        )
+        plan = chaos_faults(drop=0.2, duplicate=0.2, reorder=0.5, max_delay=40)
+        parent = [
+            dataclasses.astuple(plan.fate(7, op_value, leg, server, 0))
+            for op_value in range(100)
+            for leg in (REQUEST, RESPONSE)
+            for server in (0, 1)
+        ]
+        assert json.loads(json.dumps(parent)) == child
 
 
 class TestPlans:

@@ -52,6 +52,18 @@ class TestDefaultWiring:
         assert system.run_to_quiescence().satisfied
         assert [op.result for op in system.history.all_ops()] == ["ack", "v"]
 
+    def test_bare_lossy_config_normalizes_its_plan(self):
+        from repro.net import FaultPlan
+
+        # a directly constructed lossy config and the .lossy() constructor
+        # describe the same transport, so they must be equal — otherwise
+        # they would split into two result-cache cells.
+        direct = TransportConfig(kind="lossy")
+        built = TransportConfig.lossy()
+        assert direct.plan == FaultPlan()
+        assert direct == built
+        assert direct.cache_payload() == built.cache_payload()
+
 
 class _ManualTransport(Transport):
     """Holds requests until the test releases them (out of order)."""
