@@ -12,7 +12,10 @@ benchmark through the transport seam:
   takes;
 * ``lossy-idle`` — :class:`~repro.net.lossy.LossyTransport` with an
   empty fault plan: every message goes through the heap/pump machinery
-  but nothing is perturbed, isolating the cost of an *active* transport;
+  but nothing is perturbed, isolating the cost of an *active* transport.
+  The neutral-link fast path (no per-message fate stream is seeded when
+  no rule can ever fire) is expected to keep this near the in-proc
+  number, and the bar below enforces it;
 * ``lossy-chaos`` — the same machinery with duplicates, reorders and
   delays enabled (no drops: a saturated run must stay live, and dropped
   requests would strand every client).
@@ -56,10 +59,11 @@ STEPS = 6_000 if SMOKE else 20_000
 REPEATS = 2 if SMOKE else 4
 #: the seam's perf contract: configured inproc vs same-process baseline.
 MAX_INPROC_OVERHEAD = 0.15 if SMOKE else 0.05
-#: tripwire for the active-transport machinery: an empty-plan lossy run
-#: does strictly more bookkeeping per message, but a collapse below this
-#: fraction of baseline means the pump path regressed pathologically.
-MIN_LOSSY_IDLE_FRACTION = 0.15
+#: the neutral-link fast path's contract: an empty-plan lossy run skips
+#: fate-stream seeding entirely, so it must stay near the in-proc
+#: number (it measured ~0.9x when the fast path landed; it was ~0.55x
+#: without it).  Loose in smoke mode — shared runners are noisy.
+MIN_LOSSY_IDLE_FRACTION = 0.3 if SMOKE else 0.65
 
 TRANSPORTS = [
     ("baseline", None),

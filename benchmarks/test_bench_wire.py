@@ -1,0 +1,385 @@
+"""Experiment W — wire-codec and socket-pipelining throughput.
+
+Two sections, both recorded to ``benchmarks/BENCH_wire.json``:
+
+* ``wire`` — the socket backend against a real distributed cluster:
+  one ``repro serve`` process per sim server, synthetic low-level ops
+  pushed straight through :class:`AsyncioTransport` (no kernel
+  stepping in the way), for each codec under two send disciplines.
+  ``per-leg`` reconstructs the pre-pipelining transport: one
+  event-loop wakeup + socket write per op, one completion handled per
+  idle wait — every op pays a full cross-process round trip before
+  the next one starts.  ``pipelined`` is the shipped transport:
+  frames coalesce in the outbox into one write per connection per
+  loop tick, responses drain in bursts, and ``WINDOW`` ops ride each
+  connection concurrently.  Ops round-robin over one object per
+  server, as quorum broadcasts do.  Latency is per-op: measured
+  directly in per-leg mode, amortized over the window in pipelined
+  mode.  (The serve processes always run the shipped server loop;
+  its batched flow-control drain is a no-op for the serial per-leg
+  exchange, so the baseline is not penalized by it.)
+* ``emulation`` — the same comparison end to end: a deep ABD workload
+  (every round enqueued up front) through the full kernel over
+  self-hosted sockets, with the per-leg client *and* the per-frame
+  server drain reconstructed for the baseline.  The end-to-end ratio
+  is much smaller than the wire-level one — the quorum structure
+  serializes phases, so the kernel can only keep a few ops in
+  flight — and is recorded as context, not as the headline.
+
+The acceptance bar lives on the ``wire`` section: pipelined binary
+must sustain at least ``MIN_PIPELINED_BINARY_SPEEDUP`` × the per-leg
+JSON ops/sec.  ``BENCH_WIRE_SMOKE=1`` shrinks the run and loosens the
+bars for CI smoke mode.
+"""
+
+import contextlib
+import json
+import os
+import queue
+import re
+import subprocess
+import sys
+import time
+
+from benchmarks.conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.emulation import EmulationSpec
+from repro.net.asyncio_transport import AsyncioTransport, ReplicaServer
+from repro.sim.ids import ClientId, ObjectId, OpId
+from repro.sim.objects import LowLevelOp, OpKind
+from repro.sim.values import TSVal
+
+ARTIFACT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_wire.json")
+SRC_PATH = os.path.join(os.path.dirname(__file__), "..", "src")
+
+SMOKE = os.environ.get("BENCH_WIRE_SMOKE", "") not in ("", "0")
+#: ops per wire-section measurement (per-leg pays a full cross-process
+#: round trip per op, so it gets a smaller count to keep wall-clock
+#: sane).
+WIRE_OPS_PIPELINED = 2_000 if SMOKE else 6_000
+WIRE_OPS_PER_LEG = 200 if SMOKE else 600
+#: ops in flight per measurement window in pipelined mode.  The shipped
+#: transport imposes no window — the kernel sends as fast as it
+#: triggers — so this only bounds how much the bench queues at once.
+WINDOW = 512
+N_SERVERS = 3
+REPEATS = 2 if SMOKE else 3
+#: emulation-section workload: rounds enqueued up front, single drain.
+EMU_ROUNDS = 10 if SMOKE else 30
+EMU_READERS = 5
+
+#: acceptance bars (wire section; loose under smoke — CI runners share
+#: noisy neighbours and their scheduling latencies swing wildly).
+MIN_PIPELINED_BINARY_SPEEDUP = 3.0 if SMOKE else 10.0
+MIN_PIPELINING_SPEEDUP = 1.5 if SMOKE else 3.0
+#: emulation-section sanity bar: end-to-end must still clearly win.
+MIN_EMULATION_SPEEDUP = 1.2 if SMOKE else 1.5
+
+
+# -- the per-leg baseline, reconstructed ------------------------------------
+
+
+class _PerLegReplicaServer(ReplicaServer):
+    """The pre-pipelining server loop: one drain per response frame."""
+
+    async def handle(self, reader, writer) -> None:
+        codec = self.codec
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    break
+                op = codec.decode_request(frame)
+                result = self.replicas[op.object_id.index].apply(op)
+                self.requests_served += 1
+                writer.write(codec.encode_response(op.op_id.value, result))
+                await writer.drain()
+        finally:
+            writer.close()
+
+
+class _PerLegTransport(AsyncioTransport):
+    """The pre-pipelining client: one loop wakeup + write per op, one
+    completion handled per idle wait (no burst drain)."""
+
+    server_class = _PerLegReplicaServer
+
+    def send_request(self, op) -> None:
+        if not self._started:
+            self.start()
+        server_index = self._kernel.object_map.server_of(op.object_id).index
+        self._inflight.add(op.op_id.value)
+        data = self.codec.encode_request(op)
+        self._loop.call_soon_threadsafe(
+            self._writers[server_index].write, data
+        )
+
+    def flush_idle(self) -> bool:
+        if not self._inflight:
+            return False
+        try:
+            frame = self._completions.get(timeout=self.idle_timeout)
+        except queue.Empty:
+            return False
+        self._complete(frame)
+        return True
+
+
+# -- wire section: the socket backend against a serve cluster ----------------
+
+
+@contextlib.contextmanager
+def _serve_cluster(codec_name):
+    """One ``repro serve`` process per server; yields their addresses."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (SRC_PATH, env.get("PYTHONPATH")) if path
+    )
+    procs = []
+    addresses = []
+    try:
+        for server_index in range(N_SERVERS):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-u",
+                    "-m",
+                    "repro",
+                    "serve",
+                    "--server",
+                    str(server_index),
+                    "-n",
+                    str(N_SERVERS),
+                    "-f",
+                    "1",
+                    "--port",
+                    "0",
+                    "--codec",
+                    codec_name,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            procs.append(proc)
+            announce = proc.stdout.readline()
+            match = re.search(r"on (\S+:\d+)", announce)
+            assert match, f"server {server_index} did not come up: {announce!r}"
+            addresses.append(match.group(1))
+        yield tuple(addresses)
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=10)
+
+
+def _make_transport(transport_cls, codec_name, addresses=(), seed=0):
+    """A bound transport over a real ABD placement, ready to drive.
+
+    The emulation supplies the object map and the arrive() sink; its
+    clients are never started, so the transport is the only moving
+    part.  ``kernel.arrive`` tolerates op ids it never triggered (they
+    are no-ops), which is what lets synthetic ops flow through the
+    real completion path.
+    """
+    emulation = EmulationSpec.make(
+        "abd", n=N_SERVERS, f=1, seed=seed
+    ).build()
+    transport = transport_cls(addresses=addresses, codec=codec_name)
+    emulation.kernel.set_transport(transport)
+    return emulation, transport
+
+
+def _synthetic_ops(n_ops, object_ids):
+    """WRITE_MAX ops round-robined over one object per server.
+
+    Quorum protocols broadcast every phase to all servers, so the
+    workload keeps every connection busy — per-leg mode serializes the
+    round trips anyway, while pipelined mode overlaps them, exactly as
+    the real kernel workload does."""
+    return [
+        LowLevelOp(
+            op_id=OpId(index),
+            client_id=ClientId(0),
+            object_id=object_ids[index % len(object_ids)],
+            kind=OpKind.WRITE_MAX,
+            args=(TSVal(ts=index, wid=0, val=f"value-{index}"),),
+            trigger_time=0,
+        )
+        for index in range(n_ops)
+    ]
+
+
+def _wire_run(transport_cls, codec_name, window, n_ops, addresses):
+    """(ops/sec, p50 µs, p95 µs) for one codec × discipline."""
+    emulation, transport = _make_transport(
+        transport_cls, codec_name, addresses=addresses
+    )
+    object_ids = [
+        server.object_ids[0]
+        for server in emulation.kernel.object_map.servers
+    ]
+    ops = _synthetic_ops(n_ops, object_ids)
+    latencies = []
+    try:
+        start = time.perf_counter()
+        for index in range(0, n_ops, window):
+            batch = ops[index : index + window]
+            began = time.perf_counter()
+            for op in batch:
+                transport.send_request(op)
+            while transport._inflight:
+                assert transport.flush_idle(), "replica answer timed out"
+            per_op = (time.perf_counter() - began) / len(batch)
+            latencies.extend([per_op] * len(batch))
+        elapsed = time.perf_counter() - start
+    finally:
+        transport.close()
+    latencies.sort()
+    return (
+        n_ops / elapsed,
+        latencies[len(latencies) // 2] * 1e6,
+        latencies[int(len(latencies) * 0.95)] * 1e6,
+    )
+
+
+def _wire_best(transport_cls, codec_name, window, n_ops, addresses):
+    best = (0.0, 0.0, 0.0)
+    for _ in range(REPEATS):
+        sample = _wire_run(
+            transport_cls, codec_name, window, n_ops, addresses
+        )
+        if sample[0] > best[0]:
+            best = sample
+    return best
+
+
+# -- emulation section: end-to-end through the kernel ------------------------
+
+
+def _emulation_ops_per_sec(transport_cls, codec_name, seed=7):
+    emulation, transport = _make_transport(
+        transport_cls, codec_name, seed=seed
+    )
+    writer = emulation.add_writer(0)
+    readers = [emulation.add_reader() for _ in range(EMU_READERS)]
+    for round_index in range(EMU_ROUNDS):
+        writer.enqueue("write", f"value-{round_index}")
+        for reader in readers:
+            reader.enqueue("read")
+    try:
+        start = time.perf_counter()
+        result = emulation.system.run_to_quiescence(max_steps=2_000_000)
+        elapsed = time.perf_counter() - start
+        assert result.satisfied, f"deep ABD workload stalled: {result}"
+        ops = len(emulation.kernel.ops)
+    finally:
+        transport.close()
+    return ops / elapsed
+
+
+def _emulation_best(transport_cls, codec_name):
+    return max(
+        _emulation_ops_per_sec(transport_cls, codec_name)
+        for _ in range(REPEATS)
+    )
+
+
+def test_wire_throughput():
+    artifact = {
+        "benchmark": "wire_codec_pipelining",
+        "mode": "smoke" if SMOKE else "full",
+        "pipeline_window": WINDOW,
+        "wire": {},
+        "emulation": {},
+    }
+    rows = []
+    for codec_name in ("json", "binary"):
+        with _serve_cluster(codec_name) as addresses:
+            for transport_cls, window, discipline in (
+                (_PerLegTransport, 1, "per-leg"),
+                (AsyncioTransport, WINDOW, "pipelined"),
+            ):
+                n_ops = (
+                    WIRE_OPS_PER_LEG
+                    if window == 1
+                    else WIRE_OPS_PIPELINED
+                )
+                ops_per_sec, p50, p95 = _wire_best(
+                    transport_cls, codec_name, window, n_ops, addresses
+                )
+                artifact["wire"][f"{discipline}-{codec_name}"] = {
+                    "ops_per_sec": round(ops_per_sec),
+                    "p50_us": round(p50, 1),
+                    "p95_us": round(p95, 1),
+                }
+                rows.append(
+                    [
+                        codec_name,
+                        discipline,
+                        f"{ops_per_sec:,.0f}",
+                        f"{p50:,.1f}",
+                        f"{p95:,.1f}",
+                    ]
+                )
+    baseline = artifact["wire"]["per-leg-json"]["ops_per_sec"]
+    for numbers in artifact["wire"].values():
+        numbers["vs_per_leg_json"] = round(
+            numbers["ops_per_sec"] / baseline, 2
+        )
+
+    for label, transport_cls, codec_name in (
+        ("per-leg-json", _PerLegTransport, "json"),
+        ("pipelined-binary", AsyncioTransport, "binary"),
+    ):
+        ops_per_sec = _emulation_best(transport_cls, codec_name)
+        artifact["emulation"][label] = {"ops_per_sec": round(ops_per_sec)}
+    emulation_baseline = artifact["emulation"]["per-leg-json"]["ops_per_sec"]
+    artifact["emulation"]["pipelined-binary"]["vs_per_leg_json"] = round(
+        artifact["emulation"]["pipelined-binary"]["ops_per_sec"]
+        / emulation_baseline,
+        2,
+    )
+
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    emit(
+        render_table(
+            ["codec", "discipline", "ops/sec", "p50 µs", "p95 µs"],
+            rows,
+            title=(
+                f"Wire codec × send discipline, {N_SERVERS}-process"
+                " serve cluster"
+                f" ({artifact['mode']} mode)"
+            ),
+        )
+    )
+    emit(
+        "emulation (deep ABD, self-hosted sockets): per-leg-json"
+        f" {emulation_baseline:,} ops/s ->"
+        " pipelined-binary"
+        f" {artifact['emulation']['pipelined-binary']['ops_per_sec']:,}"
+        " ops/s"
+        f" ({artifact['emulation']['pipelined-binary']['vs_per_leg_json']}x)"
+    )
+
+    headline = artifact["wire"]["pipelined-binary"]["vs_per_leg_json"]
+    assert headline >= MIN_PIPELINED_BINARY_SPEEDUP, (
+        f"pipelined binary is {headline}x per-leg JSON over sockets;"
+        f" the bar is {MIN_PIPELINED_BINARY_SPEEDUP}x"
+    )
+    pipelining_only = artifact["wire"]["pipelined-json"]["vs_per_leg_json"]
+    assert pipelining_only >= MIN_PIPELINING_SPEEDUP, (
+        f"pipelining alone is worth only {pipelining_only}x"
+    )
+    emulation_speedup = artifact["emulation"]["pipelined-binary"][
+        "vs_per_leg_json"
+    ]
+    assert emulation_speedup >= MIN_EMULATION_SPEEDUP, (
+        f"end-to-end pipelined binary is only {emulation_speedup}x the"
+        " per-leg JSON transport"
+    )

@@ -1,0 +1,162 @@
+"""CI bench-regression smoke: ratio metrics must not regress >20%.
+
+Runs the three perf benchmarks (kernel hot path, transport seam, wire
+codec/pipelining) in their smoke modes and compares every
+*machine-portable* metric against the checked-in ``BENCH_*.json``
+artifacts.  Absolute steps/sec and ops/sec are not comparable across
+machines, so only same-process ratios are checked — speedups of one
+implementation over another measured in the same run:
+
+* ``BENCH_kernel.json`` — per-config ``speedup`` / ``batched_speedup``
+  / ``dispatch_speedup`` (incremental, batched and dispatch-table
+  stepping vs the legacy from-scratch loop);
+* ``BENCH_transport.json`` — ``vs_baseline`` for the ``inproc`` and
+  ``lossy-idle`` transports (``lossy-chaos`` does real per-message
+  fault work and swings too much on shared runners to gate on);
+* ``BENCH_wire.json`` — ``vs_per_leg_json`` for the two pipelined
+  entries plus the end-to-end ``emulation`` ratio.
+
+A metric fails the gate when the fresh smoke value drops below
+``(1 - tolerance)`` of the recorded one; faster-than-recorded is never
+an error.  In-process ratios gate at 20%.  The wire bench's ratios
+cross process boundaries — their denominators are a few hundred
+serial localhost RTTs, which jitter far more than 20% on shared CI
+runners — so they gate at 40% (the bench's own smoke-mode assertions
+already enforce absolute minima of 3x pipelining / 1.2x end-to-end on
+top of that).  The benchmarks rewrite their artifact files as they run, so
+the recorded (golden) values are loaded *first* and the files restored
+afterwards — the checked-in numbers always reflect a full-mode run,
+never the smoke run this script triggers.
+
+Usage::
+
+    python scripts/ci_bench_smoke.py [--report bench-smoke.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+#: dropping >20% below the recorded ratio fails the job (in-process).
+TOLERANCE = 0.20
+#: cross-process RTT denominators jitter more on shared runners.
+WIRE_TOLERANCE = 0.40
+
+#: bench module -> (artifact file, smoke env var, tolerance)
+BENCHES = {
+    "test_bench_kernel_hotpath.py": (
+        "BENCH_kernel.json", "BENCH_KERNEL_SMOKE", TOLERANCE
+    ),
+    "test_bench_transport.py": (
+        "BENCH_transport.json", "BENCH_TRANSPORT_SMOKE", TOLERANCE
+    ),
+    "test_bench_wire.py": (
+        "BENCH_wire.json", "BENCH_WIRE_SMOKE", WIRE_TOLERANCE
+    ),
+}
+
+
+def _ratio_metrics(artifact: dict) -> "dict[str, float]":
+    """Flatten the machine-portable ratios out of one artifact."""
+    metrics = {}
+    name = artifact.get("benchmark", "")
+    if name == "kernel_hotpath":
+        for config, numbers in artifact["configs"].items():
+            for key in ("speedup", "batched_speedup", "dispatch_speedup"):
+                metrics[f"{config}.{key}"] = numbers[key]
+    elif name == "transport_seam":
+        for transport in ("inproc", "lossy-idle"):
+            metrics[f"{transport}.vs_baseline"] = (
+                artifact["transports"][transport]["vs_baseline"]
+            )
+    elif name == "wire_codec_pipelining":
+        for entry in ("pipelined-json", "pipelined-binary"):
+            metrics[f"wire.{entry}.vs_per_leg_json"] = (
+                artifact["wire"][entry]["vs_per_leg_json"]
+            )
+        metrics["emulation.pipelined-binary.vs_per_leg_json"] = (
+            artifact["emulation"]["pipelined-binary"]["vs_per_leg_json"]
+        )
+    else:
+        raise SystemExit(f"unknown benchmark artifact: {name!r}")
+    return metrics
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--report", default="bench-smoke.json",
+        help="where to write the JSON comparison report",
+    )
+    args = parser.parse_args()
+
+    report = {"benches": {}}
+    regressions = []
+    for module, (artifact_name, smoke_var, tolerance) in BENCHES.items():
+        artifact_path = os.path.join(BENCH_DIR, artifact_name)
+        with open(artifact_path, encoding="utf-8") as handle:
+            golden_raw = handle.read()
+        golden = _ratio_metrics(json.loads(golden_raw))
+
+        env = dict(os.environ)
+        env[smoke_var] = "1"
+        env.setdefault(
+            "PYTHONPATH", os.path.join(REPO, "src")
+        )
+        try:
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    os.path.join(BENCH_DIR, module),
+                    "-q",
+                ],
+                cwd=REPO,
+                env=env,
+                check=True,
+            )
+            with open(artifact_path, encoding="utf-8") as handle:
+                fresh = _ratio_metrics(json.load(handle))
+        finally:
+            # the smoke run overwrote the artifact; the checked-in
+            # numbers are the full-mode golden, put them back.
+            with open(artifact_path, "w", encoding="utf-8") as handle:
+                handle.write(golden_raw)
+
+        rows = {"tolerance": tolerance}
+        for key, recorded in sorted(golden.items()):
+            measured = fresh[key]
+            floor = recorded * (1.0 - tolerance)
+            ok = measured >= floor
+            rows[key] = {
+                "recorded": recorded,
+                "measured": measured,
+                "floor": round(floor, 3),
+                "ok": ok,
+            }
+            if not ok:
+                regressions.append(
+                    f"{module}: {key} measured {measured} <"
+                    f" {floor:.3f} (recorded {recorded},"
+                    f" tolerance {tolerance:.0%})"
+                )
+        report["benches"][module] = rows
+
+    with open(args.report, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if regressions:
+        raise SystemExit(
+            "bench ratio regressions:\n  " + "\n  ".join(regressions)
+        )
+    print("bench smoke: all ratio metrics within tolerance")
+
+
+if __name__ == "__main__":
+    main()

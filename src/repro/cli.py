@@ -340,7 +340,9 @@ def cmd_cluster(args) -> int:
     spec = EmulationSpec.make(
         args.algorithm,
         seed=args.seed,
-        transport=TransportConfig.asyncio(tuple(args.address)),
+        transport=TransportConfig.asyncio(
+            tuple(args.address), codec=args.codec
+        ),
         **_spec_params(args),
     )
     try:
@@ -363,7 +365,9 @@ def cmd_cluster(args) -> int:
             )
             writer.enqueue(write_op, value)
             reader.enqueue(read_op)
-            result = emulation.system.run_to_quiescence(max_steps=100_000)
+            result = emulation.system.run_to_quiescence(
+                max_steps=100_000, batch_size=args.batch_size
+            )
             if not result.satisfied:
                 print(f"cluster run stalled: {result}", file=sys.stderr)
                 return 1
@@ -418,6 +422,7 @@ def cmd_serve(args) -> int:
             placements[args.server],
             host=args.host,
             port=args.port,
+            codec=args.codec,
         )
     except KeyboardInterrupt:
         pass
@@ -556,6 +561,22 @@ def build_parser() -> argparse.ArgumentParser:
         " default: self-host every server)",
     )
     p_cluster.add_argument(
+        "--codec",
+        default="json",
+        choices=("json", "binary"),
+        help="wire codec for the request/response frames; must match the"
+        " --codec of any external `repro serve` processes"
+        " (default: json)",
+    )
+    p_cluster.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="run the kernel through its batched fast path, revalidating"
+        " per K steps instead of every step (default: unbatched)",
+    )
+    p_cluster.add_argument(
         "--demo",
         action="store_true",
         help="self-hosted ABD n=3 f=1 demo (overrides the other flags)",
@@ -589,6 +610,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--port", type=int, default=0, help="bind port (default: ephemeral)"
+    )
+    p_serve.add_argument(
+        "--codec",
+        default="json",
+        choices=("json", "binary"),
+        help="wire codec to speak; must match the cluster's --codec"
+        " (default: json)",
     )
     p_serve.set_defaults(fn=cmd_serve)
 

@@ -67,6 +67,9 @@ class RegisterLayout:
         self.set_sizes = sizes
         self.sets: "List[List[ObjectId]]" = []
         self._delta: "Dict[ObjectId, ServerId]" = {}
+        # Per-server register lists, computed once (the layout is
+        # immutable after _place) — scans ask for these on every collect.
+        self._by_server: "Dict[ServerId, List[ObjectId]]" = {}
         self._place(sizes, n)
 
     def _place(self, sizes: "List[int]", n: int) -> None:
@@ -141,11 +144,12 @@ class RegisterLayout:
     def registers_on_server(self, server_id: ServerId) -> "List[ObjectId]":
         """This layout's registers hosted on ``server_id`` (scans read
         exactly these — relevant when several emulations share a fleet)."""
-        return [
-            oid
-            for oid, sid in self._delta.items()
-            if sid == server_id
-        ]
+        cached = self._by_server.get(server_id)
+        if cached is None:
+            cached = self._by_server[server_id] = [
+                oid for oid, sid in self._delta.items() if sid == server_id
+            ]
+        return list(cached)
 
     def read_quorum_servers(self) -> int:
         """Scans a reader must complete: ``n - f`` full-server scans."""

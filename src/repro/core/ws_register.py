@@ -64,8 +64,11 @@ class WSRegisterClient(ClientProtocol):
         )
         self.cover_set: "Set[ObjectId]" = set()
         # Kernel-facing bookkeeping (not part of the paper's state): which
-        # of our read ops responded, to advance the per-server scans.
+        # of our read ops responded, to advance the per-server scans, and
+        # the server fleet snapshot (fixed once the system is built)
+        # taken at the first collect.
         self._read_done: "Set[OpId]" = set()
+        self._server_ids: "Optional[tuple]" = None
 
     # -- high-level operations -------------------------------------------------
 
@@ -98,9 +101,12 @@ class WSRegisterClient(ClientProtocol):
 
     def _collect(self, ctx: Context):
         self.rd_set = []  # line 21
+        server_ids = self._server_ids
+        if server_ids is None:
+            server_ids = self._server_ids = tuple(self.object_map.server_ids)
         handles = [
             ctx.spawn(self._scan(ctx, server_id), name=f"scan-{server_id}")
-            for server_id in self.object_map.server_ids  # line 22
+            for server_id in server_ids  # line 22
         ]
         needed = self.layout.read_quorum_servers()
         yield ctx.count_done(handles, needed)  # line 24

@@ -37,12 +37,16 @@ from repro.net.faults import (
 )
 from repro.net.lossy import LossyTransport
 from repro.net.config import TransportConfig
+from repro.net.wire import BinaryWireCodec, JsonWireCodec, get_codec
 
 __all__ = [
     "Transport",
     "InProcTransport",
     "LossyTransport",
     "TransportConfig",
+    "JsonWireCodec",
+    "BinaryWireCodec",
+    "get_codec",
     "FaultPlan",
     "LinkFaults",
     "Drop",

@@ -39,12 +39,7 @@ import threading
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.transport import Transport
-from repro.net.wire import (
-    decode_request,
-    decode_response,
-    encode_request,
-    encode_response,
-)
+from repro.net.wire import get_codec
 from repro.sim.ids import ObjectId, OpId
 from repro.sim.objects import make_object
 
@@ -73,17 +68,31 @@ def snapshot_placements(object_map) -> "Dict[int, List[ReplicaSpec]]":
     return placements
 
 
+#: responses written between flow-control drains on a pipelined
+#: connection; drains act as back-pressure checkpoints, not flushes —
+#: the event loop pushes written bytes to the socket regardless.
+_DRAIN_EVERY = 64
+
+
 class ReplicaServer:
-    """One sim server's base objects, served over newline-JSON frames.
+    """One sim server's base objects, served over codec frames.
 
     Requests are applied to the replicas strictly in arrival order on
     the event loop — the replica is the linearization point for its
     objects, exactly like ``BaseObject.apply`` at the respond step is in
-    simulation.
+    simulation.  The connection is pipelined: any number of requests may
+    be in flight, and responses stream back in apply order without a
+    per-frame drain.
     """
 
-    def __init__(self, server_index: int, replicas: "List[ReplicaSpec]"):
+    def __init__(
+        self,
+        server_index: int,
+        replicas: "List[ReplicaSpec]",
+        codec: Any = "json",
+    ):
         self.server_index = server_index
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
         self.replicas = {
             object_index: make_object(
                 type_name, ObjectId(object_index), initial_value
@@ -93,17 +102,22 @@ class ReplicaServer:
         self.requests_served = 0
 
     async def handle(self, reader, writer) -> None:
+        codec = self.codec
+        read_frame = codec.read_frame
+        decode_req = codec.decode_request
+        encode_resp = codec.encode_response
+        replicas = self.replicas
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                frame = await read_frame(reader)
+                if frame is None:
                     break
-                op = decode_request(line)
-                replica = self.replicas[op.object_id.index]
-                result = replica.apply(op)
+                op = decode_req(frame)
+                result = replicas[op.object_id.index].apply(op)
                 self.requests_served += 1
-                writer.write(encode_response(op.op_id.value, result))
-                await writer.drain()
+                writer.write(encode_resp(op.op_id.value, result))
+                if not self.requests_served % _DRAIN_EVERY:
+                    await writer.drain()
         finally:
             writer.close()
 
@@ -124,18 +138,24 @@ class AsyncioTransport(Transport):
     active = True
     remote = True
 
+    #: replica-server implementation for self-hosted mode; a seam for
+    #: benchmarks/tests that need variant server behaviour.
+    server_class = ReplicaServer
+
     def __init__(
         self,
         addresses: "Tuple[str, ...]" = (),
         host: str = "127.0.0.1",
         startup_timeout: float = 10.0,
         idle_timeout: float = 5.0,
+        codec: Any = "json",
     ):
         super().__init__()
         self.addresses = tuple(addresses)
         self.host = host
         self.startup_timeout = startup_timeout
         self.idle_timeout = idle_timeout
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
         self.ports: "Dict[int, int]" = {}
         self.servers: "Dict[int, ReplicaServer]" = {}
         self._placements: "Dict[int, List[ReplicaSpec]]" = {}
@@ -151,6 +171,10 @@ class AsyncioTransport(Transport):
         self._writers: "Dict[int, asyncio.StreamWriter]" = {}
         self._asyncio_servers: "List[Any]" = []
         self._started = False
+        #: frames queued per server index since the last loop flush.
+        self._outbox: "Dict[int, List[bytes]]" = {}
+        self._outbox_lock = threading.Lock()
+        self._flush_scheduled = False
 
     # -- wiring ------------------------------------------------------------
 
@@ -220,7 +244,9 @@ class AsyncioTransport(Transport):
         else:
             endpoints = []
             for server_index, replicas in self._placements.items():
-                replica_server = ReplicaServer(server_index, replicas)
+                replica_server = self.server_class(
+                    server_index, replicas, codec=self.codec
+                )
                 self.servers[server_index] = replica_server
                 server = await asyncio.start_server(
                     replica_server.handle, self.host, 0
@@ -235,11 +261,12 @@ class AsyncioTransport(Transport):
             asyncio.ensure_future(self._read_responses(reader))
 
     async def _read_responses(self, reader) -> None:
+        codec = self.codec
         while True:
-            line = await reader.readline()
-            if not line:
+            frame = await codec.read_frame(reader)
+            if frame is None:
                 break
-            self._completions.put(decode_response(line))
+            self._completions.put(codec.decode_response(frame))
 
     async def _shutdown(self) -> None:
         # Closing the client-side connections first lets every suspended
@@ -268,20 +295,42 @@ class AsyncioTransport(Transport):
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
 
-    def _send(self, server_index: int, data: bytes) -> None:
-        # runs on the event-loop thread
-        self._writers[server_index].write(data)
+    def _flush_outbox(self) -> None:
+        # runs on the event-loop thread: ship everything queued since the
+        # last flush, one write per connection regardless of how many
+        # requests the kernel triggered in between.
+        with self._outbox_lock:
+            outbox, self._outbox = self._outbox, {}
+            self._flush_scheduled = False
+        writers = self._writers
+        for server_index, frames in outbox.items():
+            writers[server_index].write(
+                frames[0] if len(frames) == 1 else b"".join(frames)
+            )
 
     # -- transport interface -----------------------------------------------
 
     def send_request(self, op) -> None:
+        """Queue the request leg; frames coalesce per event-loop tick.
+
+        The kernel thread only appends to the outbox — at most one loop
+        wakeup is in flight at a time, so a burst of triggers between
+        loop ticks becomes a single ``writer.write`` per connection
+        (pipelining) instead of one wakeup + write + drain per op.
+        """
         if not self._started:
             self.start()
         kernel = self._kernel
         server_index = kernel.object_map.server_of(op.object_id).index
         self._inflight.add(op.op_id.value)
-        data = encode_request(op)
-        self._loop.call_soon_threadsafe(self._send, server_index, data)
+        data = self.codec.encode_request(op)
+        with self._outbox_lock:
+            self._outbox.setdefault(server_index, []).append(data)
+            schedule = not self._flush_scheduled
+            if schedule:
+                self._flush_scheduled = True
+        if schedule:
+            self._loop.call_soon_threadsafe(self._flush_outbox)
 
     def request_arrived(self, op) -> bool:
         return op.op_id.value in self._arrived
@@ -322,6 +371,14 @@ class AsyncioTransport(Transport):
         except queue.Empty:
             return False
         self._complete(frame)
+        # Pipelined runs land answers in bursts: drain whatever else has
+        # already arrived so one wall-clock wait can wake many ops.
+        while True:
+            try:
+                frame = self._completions.get_nowait()
+            except queue.Empty:
+                break
+            self._complete(frame)
         return True
 
     def describe(self) -> "Dict[str, Any]":
@@ -330,6 +387,7 @@ class AsyncioTransport(Transport):
             "host": self.host,
             "ports": dict(self.ports),
             "addresses": list(self.addresses),
+            "codec": self.codec.name,
         }
 
 
@@ -339,11 +397,12 @@ def run_replica_server(
     host: str = "127.0.0.1",
     port: int = 0,
     announce=print,
+    codec: Any = "json",
 ) -> None:
     """Host one sim server's replicas until interrupted (``repro serve``)."""
 
     async def _serve() -> None:
-        replica_server = ReplicaServer(server_index, replicas)
+        replica_server = ReplicaServer(server_index, replicas, codec=codec)
         server = await asyncio.start_server(replica_server.handle, host, port)
         bound = server.sockets[0].getsockname()
         announce(f"serving s{server_index} on {bound[0]}:{bound[1]}")

@@ -143,6 +143,25 @@ class LinkFaults:
     delay: "Delay" = field(default_factory=Delay)
     reorder: "Reorder" = field(default_factory=Reorder)
 
+    @property
+    def is_neutral(self) -> bool:
+        """True when no rule on this link can ever fire.
+
+        A neutral link's fate is always the trivial
+        :class:`MessageFate` regardless of the random draws, so the
+        lossy transport may skip seeding the per-message stream
+        entirely.  Skipping is observationally safe *because* the
+        streams are stateless — each message's draws are keyed by its
+        own ``(seed, op id, leg, server)`` hash, so not consuming one
+        message's stream can never shift another's.
+        """
+        return (
+            self.drop.probability == 0.0
+            and self.duplicate.probability == 0.0
+            and self.delay.high == 0
+            and self.reorder.probability == 0.0
+        )
+
 
 @dataclass(frozen=True)
 class MessageFate:
@@ -186,6 +205,18 @@ class FaultPlan:
             if index == server_index:
                 return faults
         return self.default
+
+    def link_is_neutral(self, server_index: int) -> bool:
+        """True when no fault in the plan can ever touch this server:
+        its link profile is neutral and no partition (at any time) lists
+        it.  Time-independent by construction, so callers may cache the
+        answer per server for the lifetime of the plan."""
+        if any(
+            server_index in partition.servers
+            for partition in self.partitions
+        ):
+            return False
+        return self.link(server_index).is_neutral
 
     def partition_covering(
         self, time: int, server_index: int

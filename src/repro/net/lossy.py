@@ -26,8 +26,13 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, List, Tuple
 
-from repro.net.faults import REQUEST, RESPONSE, FaultPlan
+from repro.net.faults import REQUEST, RESPONSE, FaultPlan, MessageFate
 from repro.net.transport import Transport
+
+#: the fate of every message on a neutral link: delivered next pump,
+#: no drops, no copies, no jitter.  One shared instance — the fast path
+#: must not even pay a dataclass construction per message.
+_NEUTRAL_FATE = MessageFate()
 
 #: counter names exposed by :meth:`LossyTransport.stats`.
 COUNTERS = (
@@ -67,14 +72,41 @@ class LossyTransport(Transport):
         #: in-flight response legs: heap of (due tick, send seq, op).
         self._responses: "List[Tuple[int, int, Any]]" = []
         self.counters: "Dict[str, int]" = {name: 0 for name in COUNTERS}
+        #: server index -> True when the plan can never touch that link
+        #: (see FaultPlan.link_is_neutral); lazily filled, valid for the
+        #: plan's lifetime because neutrality is time-independent.
+        self._neutral: "Dict[int, bool]" = {}
+        #: the whole plan is inert (no partitions, every link neutral):
+        #: sends can skip fate resolution without even a per-server
+        #: lookup.  The common case for runs that want the active
+        #: transport machinery but no weather, e.g. FaultPlan().
+        self._all_neutral = (
+            not self.plan.partitions
+            and self.plan.default.is_neutral
+            and all(
+                faults.is_neutral for _, faults in self.plan.per_server
+            )
+        )
 
     # -- send side ---------------------------------------------------------
 
     def _fate(self, op, leg: int):
         kernel = self._kernel
-        server = kernel.object_map.server_of(op.object_id)
+        server_index = kernel.object_map.server_of(op.object_id).index
+        # Idle fast path: on a link no rule can ever touch, the fate is
+        # a foregone conclusion — skip seeding the per-message stream
+        # (a Mersenne-Twister construction per send, by far the most
+        # expensive part of a faultless lossy hop).  Stateless streams
+        # make the skip invisible: no other message's draws shift.
+        neutral = self._neutral.get(server_index)
+        if neutral is None:
+            neutral = self._neutral[server_index] = (
+                self.plan.link_is_neutral(server_index)
+            )
+        if neutral:
+            return kernel.time, _NEUTRAL_FATE
         return kernel.time, self.plan.fate(
-            self.seed, op.op_id.value, leg, server.index, kernel.time
+            self.seed, op.op_id.value, leg, server_index, kernel.time
         )
 
     def _enqueue(self, queue, op, now: int, fate) -> None:
@@ -96,8 +128,15 @@ class LossyTransport(Transport):
             self._send_seq += 1
 
     def send_request(self, op) -> None:
-        now, fate = self._fate(op, REQUEST)
         self.counters["requests_sent"] += 1
+        if self._all_neutral:
+            # Inert plan: the fate is the trivial one, due immediately.
+            heapq.heappush(
+                self._requests, (self._kernel.time, self._send_seq, op)
+            )
+            self._send_seq += 1
+            return
+        now, fate = self._fate(op, REQUEST)
         if fate.dropped:
             self.counters["dropped_requests"] += 1
             return
@@ -106,8 +145,14 @@ class LossyTransport(Transport):
         self._enqueue(self._requests, op, now, fate)
 
     def send_response(self, op) -> None:
-        now, fate = self._fate(op, RESPONSE)
         self.counters["responses_sent"] += 1
+        if self._all_neutral:
+            heapq.heappush(
+                self._responses, (self._kernel.time, self._send_seq, op)
+            )
+            self._send_seq += 1
+            return
+        now, fate = self._fate(op, RESPONSE)
         if fate.dropped:
             self.counters["dropped_responses"] += 1
             return

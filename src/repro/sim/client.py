@@ -36,7 +36,6 @@ requires.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.ids import ClientId, ObjectId, OpId
@@ -53,21 +52,31 @@ ClientCoroutine = Generator[Optional[Callable[[], bool]], None, Any]
 SCHED_DISABLED, SCHED_ENABLED, SCHED_POLLING = 0, 1, 2
 
 
-@dataclass
 class TaskHandle:
     """Handle on a spawned sub-coroutine."""
 
-    name: str
-    done: bool = False
-    result: Any = None
+    __slots__ = ("name", "done", "result")
+
+    def __init__(self, name: str, done: bool = False, result: Any = None):
+        self.name = name
+        self.done = done
+        self.result = result
 
     def wait(self) -> Callable[[], bool]:
         """Predicate usable as ``yield handle.wait()``."""
         return lambda: self.done
 
+    def __repr__(self) -> str:
+        return (
+            f"TaskHandle(name={self.name!r}, done={self.done},"
+            f" result={self.result!r})"
+        )
+
 
 class _Task:
     """Internal bookkeeping for one coroutine (main or spawned)."""
+
+    __slots__ = ("coroutine", "handle", "waiting")
 
     def __init__(self, coroutine: ClientCoroutine, handle: TaskHandle):
         self.coroutine = coroutine
@@ -113,6 +122,8 @@ class Context:
     scheduler or adversary state.
     """
 
+    __slots__ = ("_runtime",)
+
     def __init__(self, runtime: "ClientRuntime"):
         self._runtime = runtime
 
@@ -126,7 +137,15 @@ class Context:
 
     def trigger(self, object_id: ObjectId, kind: OpKind, *args: Any) -> OpId:
         """Trigger a low-level operation; returns immediately."""
-        return self._runtime.trigger(object_id, kind, args)
+        # Inlined ClientRuntime.trigger — one call frame per low-level
+        # op is measurable on protocol-heavy runs.
+        runtime = self._runtime
+        op = runtime._kernel.trigger(
+            runtime.client_id, object_id, kind, args, runtime.active_seq
+        )
+        op_id = op.op_id
+        runtime.pending_ops.add(op_id)
+        return op_id
 
     def spawn(self, coroutine: ClientCoroutine, name: str = "task") -> TaskHandle:
         """Run a sub-coroutine concurrently within this client."""
@@ -138,7 +157,16 @@ class Context:
 
     @staticmethod
     def count_done(handles: "List[TaskHandle]", count: int) -> Callable[[], bool]:
-        return lambda: sum(1 for h in handles if h.done) >= count
+        def enough_done():
+            remaining = count
+            for handle in handles:
+                if handle.done:
+                    remaining -= 1
+                    if remaining <= 0:
+                        return True
+            return remaining <= 0
+
+        return enough_done
 
 
 class ClientRuntime:
@@ -147,7 +175,30 @@ class ClientRuntime:
     Holds the protocol instance, the queue of not-yet-invoked high-level
     operations, and the active coroutines.  The kernel drives it through
     :meth:`enabled`, :meth:`step` and :meth:`deliver_response`.
+
+    A ``__slots__`` class: one instance lives per client and its
+    scheduling fields (``_category``, ``_poll_dirty``/``_poll_cache``,
+    ``action``) are read on every kernel step, so attribute storage is
+    flat and the kernel's collect loop touches no hash tables.
     """
+
+    __slots__ = (
+        "client_id",
+        "protocol",
+        "context",
+        "crashed",
+        "program",
+        "tasks",
+        "active_seq",
+        "active_name",
+        "pending_ops",
+        "duplicate_responses",
+        "_kernel",
+        "_poll_dirty",
+        "_poll_cache",
+        "_category",
+        "action",
+    )
 
     def __init__(self, client_id: ClientId, protocol: ClientProtocol):
         self.client_id = client_id
@@ -172,6 +223,11 @@ class ClientRuntime:
         # (set whenever this client is touched).  Owned by the kernel.
         self._poll_dirty = True
         self._poll_cache = False
+        # Scheduling category (SCHED_*) as last published to the kernel's
+        # candidate list, and this client's reusable CLIENT action.  Both
+        # owned by the kernel (filled in at registration).
+        self._category = SCHED_DISABLED
+        self.action = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -214,7 +270,7 @@ class ClientRuntime:
         """
         if self.crashed:
             return SCHED_DISABLED
-        if self.idle:
+        if self.active_seq is None:  # idle
             return SCHED_ENABLED if self.program else SCHED_DISABLED
         for task in self.tasks:
             if task.waiting is None and not task.handle.done:
@@ -223,8 +279,10 @@ class ClientRuntime:
 
     def _poll_now(self) -> bool:
         """Evaluate the wait predicates of a ``SCHED_POLLING`` client."""
+        # _Task.runnable, inlined: every task of a polling client is
+        # parked on a predicate (waiting is never None here).
         for task in self.tasks:
-            if task.runnable:
+            if not task.handle.done and task.waiting():
                 return True
         return False
 
@@ -232,13 +290,29 @@ class ClientRuntime:
         """Execute one client step: start the next op, or advance one task."""
         if self.crashed:
             raise RuntimeError(f"step on crashed client {self.client_id}")
-        if self.idle:
+        if self.active_seq is None:  # idle
             self._start_next_operation()
             return
-        task = self._next_runnable()
-        if task is None:
-            raise RuntimeError(f"no runnable task on {self.client_id}")
-        self._advance(task)
+        # First runnable task (_Task.runnable and _advance inlined — this
+        # scan plus one coroutine resume runs on every client step).
+        for task in self.tasks:
+            if not task.handle.done:
+                waiting = task.waiting
+                if waiting is None or waiting():
+                    task.waiting = None
+                    try:
+                        yielded = next(task.coroutine)
+                    except StopIteration as stop:
+                        self._finish_task(task, stop.value)
+                        return
+                    if yielded is not None and not callable(yielded):
+                        raise TypeError(
+                            f"client coroutine yielded {yielded!r}; expected"
+                            " a predicate or None"
+                        )
+                    task.waiting = yielded
+                    return
+        raise RuntimeError(f"no runnable task on {self.client_id}")
 
     def _start_next_operation(self) -> None:
         name, args = self.program.popleft()
@@ -297,10 +371,18 @@ class ClientRuntime:
         return op.op_id
 
     def spawn(self, coroutine: ClientCoroutine, name: str) -> TaskHandle:
-        if self.idle:
+        if self.active_seq is None:  # idle
             raise RuntimeError("spawn outside a high-level operation")
         handle = TaskHandle(name=name)
         self.tasks.append(_Task(coroutine, handle))
+        # A fresh task is runnable (waiting is None), so a client parked
+        # on predicates becomes enabled right here.  Keeping the category
+        # current lets the kernel skip the full rescan after response
+        # deliveries, where spawn is the only category-changing call a
+        # protocol can make.  (Candidate-list membership is unaffected:
+        # both categories are candidate states.)
+        if self._category == SCHED_POLLING:
+            self._category = SCHED_ENABLED
         return handle
 
     def deliver_response(self, op: LowLevelOp) -> None:
@@ -312,10 +394,11 @@ class ClientRuntime:
         dropped.  Responses only ever follow a trigger by this client, so
         ``pending_ops`` membership is exactly "not yet delivered".
         """
-        if op.op_id not in self.pending_ops:
+        try:
+            self.pending_ops.remove(op.op_id)
+        except KeyError:
             self.duplicate_responses += 1
             return
-        self.pending_ops.discard(op.op_id)
         if self.crashed:
             return
         self.protocol.on_response(self.context, op)

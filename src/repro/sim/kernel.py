@@ -29,7 +29,6 @@ wait/wake) instead of recomputing them from scratch every step.
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
@@ -59,13 +58,65 @@ class ActionKind(Enum):
     RESPOND = "respond"
 
 
-@dataclass(frozen=True)
 class Action:
-    """One executable action: a client step or a low-level respond."""
+    """One executable action: a client step or a low-level respond.
 
-    kind: ActionKind
-    client_id: Optional[ClientId] = None
-    op_id: Optional[OpId] = None
+    Used to be a frozen dataclass; now a hand-written ``__slots__`` value
+    type — schedulers key queues on actions and one action is allocated
+    per arriving request, so construction and hashing sit on the hot
+    path.  Construction is three plain slot stores (no immutability
+    guard: a ``__setattr__`` override taxes ``__init__`` on every
+    trigger; actions are immutable by convention — nothing in the
+    kernel mutates one after construction).  Equality, ordering and
+    ``str`` are unchanged from the dataclass.
+    """
+
+    __slots__ = ("kind", "client_id", "op_id", "_hash")
+
+    def __init__(
+        self,
+        kind: ActionKind,
+        client_id: Optional[ClientId] = None,
+        op_id: Optional[OpId] = None,
+    ):
+        self.kind = kind
+        self.client_id = client_id
+        self.op_id = op_id
+        # ``_hash`` stays unset until first use: most RESPOND actions are
+        # never hashed (the random scheduler only indexes), but
+        # round-robin queues key on actions.
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            cached = self._hash = hash(
+                (self.kind, self.client_id, self.op_id)
+            )
+            return cached
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not Action:
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.client_id == other.client_id
+            and self.op_id == other.op_id
+        )
+
+    def __ne__(self, other: Any) -> bool:
+        if other.__class__ is not Action:
+            return NotImplemented
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"Action(kind={self.kind!r}, client_id={self.client_id!r},"
+            f" op_id={self.op_id!r})"
+        )
+
+    def __reduce__(self):
+        return (Action, (self.kind, self.client_id, self.op_id))
 
     def __str__(self) -> str:
         if self.kind is ActionKind.CLIENT:
@@ -166,13 +217,17 @@ class Kernel:
 
     Incremental bookkeeping (see ``docs/MODEL.md``, "Performance"):
 
-    * ``_candidates`` — sorted client ids that are enabled or may wake
-      (everything except crashed / idle-with-empty-program clients);
-    * ``_enabled_clients`` / ``_polling_clients`` — the candidate split:
-      definitely steppable vs. blocked on wait predicates that are
-      re-evaluated lazily (only after the client is touched);
+    * ``_candidates`` — client runtimes that are enabled or may wake
+      (everything except crashed / idle-with-empty-program clients), in
+      ascending client-id order.  Each candidate carries its own
+      scheduling category (``runtime._category``: definitely steppable
+      vs. blocked on wait predicates re-evaluated lazily) and its
+      reusable ``CLIENT`` action (``runtime.action``), so collecting the
+      enabled actions touches no hash tables at all;
     * ``_respond_actions`` — cached ``RESPOND`` actions of pending ops on
-      live objects, kept in ascending op-id order;
+      live objects, kept in ascending op-id order.  Always mutated in
+      place (never rebound) so references hoisted by
+      :meth:`run_batched`'s fast loop stay valid;
     * ``_veto_cache`` — per-op environment verdicts, valid for one
       :meth:`Environment.veto_epoch` token.
     """
@@ -183,27 +238,33 @@ class Kernel:
         self.object_map = object_map
         self.scheduler = scheduler
         self.environment = environment or Environment()
-        if transport is None:
-            # Imported here: repro.net sits above the kernel in the layer
-            # diagram (transports call back into arrive/deliver), so the
-            # module-level import would be circular.
-            from repro.net.transport import InProcTransport
+        # Imported here: repro.net sits above the kernel in the layer
+        # diagram (transports call back into arrive/deliver), so the
+        # module-level import would be circular.
+        from repro.net.transport import InProcTransport
 
+        if transport is None:
             transport = InProcTransport()
         self.transport = transport
         transport.bind(self)
+        # With the plain in-process transport the request leg is a no-op
+        # wrapper around arrive_fresh; trigger() inlines it when this
+        # flag is set (kept current by set_transport).
+        self._inproc = type(transport) is InProcTransport
         self.time = 0
+        # Direct alias of the object map's id->object table (mutated in
+        # place, never rebound): trigger() resolves the target object on
+        # every low-level op, so the lookup skips a method call.
+        self._objects = object_map._objects
         self.clients: "Dict[ClientId, ClientRuntime]" = {}
         self.ops: "Dict[OpId, LowLevelOp]" = {}
         self.pending: "Dict[OpId, LowLevelOp]" = {}
         self.listeners: "List[EventListener]" = []
         self._next_op = 0
         self._next_seq = 0
-        # Incremental enabled-action state.
-        self._candidates: "List[ClientId]" = []
-        self._enabled_clients: "set[ClientId]" = set()
-        self._polling_clients: "set[ClientId]" = set()
-        self._client_actions: "Dict[ClientId, Action]" = {}
+        # Incremental enabled-action state: candidate runtimes in
+        # ascending client-id order (category/action live on the runtime).
+        self._candidates: "List[ClientRuntime]" = []
         #: RESPOND actions for pending ops on live objects; insertion is in
         #: ascending op-id order and deletions preserve it, so iteration
         #: order always equals sorted order.
@@ -235,8 +296,11 @@ class Kernel:
                 "set_transport after operations were triggered; the"
                 " transport must be in place before the run starts"
             )
+        from repro.net.transport import InProcTransport
+
         self.transport = transport
         transport.bind(self)
+        self._inproc = type(transport) is InProcTransport
 
     def add_client(
         self, client_id: ClientId, protocol: ClientProtocol
@@ -246,10 +310,8 @@ class Kernel:
         runtime = ClientRuntime(client_id, protocol)
         runtime.attach(self)
         self.clients[client_id] = runtime
-        self._client_actions[client_id] = Action(
-            ActionKind.CLIENT, client_id=client_id
-        )
-        self._refresh_client(client_id)
+        runtime.action = Action(ActionKind.CLIENT, client_id=client_id)
+        self._recategorize(runtime)
         return runtime
 
     def add_listener(self, listener: EventListener) -> None:
@@ -299,29 +361,43 @@ class Kernel:
     def _refresh_client(self, client_id: ClientId) -> None:
         """Recategorize one client after an event that may change it.
 
+        Id-keyed wrapper around :meth:`_recategorize` for callers that
+        hold an id rather than the runtime (client enqueue, transports).
+        """
+        runtime = self.clients.get(client_id)
+        if runtime is not None:
+            self._recategorize(runtime)
+
+    def _recategorize(self, runtime: ClientRuntime) -> None:
+        """Recategorize one client after an event that may change it.
+
         Called after every step of / response delivery to / enqueue on /
         crash of the client.  Also marks the client's wait predicates
         dirty, so polling clients are re-evaluated exactly when touched.
+        The category is stored on the runtime itself; the candidate list
+        only changes on transitions into or out of ``SCHED_DISABLED``.
         """
-        runtime = self.clients.get(client_id)
-        if runtime is None:
-            return
         runtime._poll_dirty = True
         category = runtime._sched_category()
-        enabled = self._enabled_clients
-        polling = self._polling_clients
-        was_candidate = client_id in enabled or client_id in polling
-        enabled.discard(client_id)
-        polling.discard(client_id)
-        if category == SCHED_ENABLED:
-            enabled.add(client_id)
-        elif category == SCHED_POLLING:
-            polling.add(client_id)
-        is_candidate = category != SCHED_DISABLED
-        if is_candidate and not was_candidate:
-            insort(self._candidates, client_id)
-        elif was_candidate and not is_candidate:
-            self._candidates.remove(client_id)
+        previous = runtime._category
+        if category == previous:
+            return
+        runtime._category = category
+        if previous != SCHED_DISABLED:
+            if category == SCHED_DISABLED:
+                self._candidates.remove(runtime)
+            return
+        # Joining: insert preserving ascending client-id order.
+        candidates = self._candidates
+        index = runtime.client_id.index
+        lo, hi = 0, len(candidates)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if candidates[mid].client_id.index < index:
+                lo = mid + 1
+            else:
+                hi = mid
+        candidates.insert(lo, runtime)
 
     # -- low-level operation lifecycle ------------------------------------------
 
@@ -334,23 +410,31 @@ class Kernel:
         highlevel_seq: Optional[int],
     ) -> LowLevelOp:
         """Trigger a low-level operation (called from client runtimes)."""
-        obj = self.object_map.object(object_id)
-        obj.check_supported(kind)
-        op = LowLevelOp(
-            op_id=OpId(self._next_op),
-            client_id=client_id,
-            object_id=object_id,
-            kind=kind,
-            args=args,
-            trigger_time=self.time,
-            highlevel_seq=highlevel_seq,
-        )
+        obj = self._objects[object_id]
+        if kind not in obj.SUPPORTED:
+            obj.check_supported(kind)  # raises with the precise message
+        op_id = OpId(self._next_op)
         self._next_op += 1
-        self.ops[op.op_id] = op
-        self.pending[op.op_id] = op
+        op = LowLevelOp(
+            op_id, client_id, object_id, kind, args, self.time, None, None,
+            highlevel_seq,
+        )
+        op.obj = obj  # cache the kernel-local object for the respond step
+        self.ops[op_id] = op
+        self.pending[op_id] = op
         # The request leg belongs to the transport: the op becomes
-        # respondable when (and if) the transport delivers it via arrive().
-        self.transport.send_request(op)
+        # respondable when (and if) the transport delivers it via
+        # arrive().  For the plain in-process transport that leg is
+        # arrive_fresh() behind two calls — inlined here (matching
+        # InProcTransport.send_request exactly: a crashed object
+        # silently swallows the request).
+        if self._inproc:
+            if not obj.crashed:
+                self._respond_actions[op_id] = Action(
+                    ActionKind.RESPOND, op_id=op_id
+                )
+        else:
+            self.transport.send_request(op)
         if self._subs_trigger:
             event = TriggerEvent(self.time, op)
             for emit in self._subs_trigger:
@@ -374,15 +458,35 @@ class Kernel:
         actions = self._respond_actions
         if op_id in actions:
             return  # duplicate delivery
-        if self.object_map.object(op.object_id).crashed:
+        obj = op.obj
+        if obj is None:
+            obj = self.object_map.object(op.object_id)
+        if obj.crashed:
             return  # arrived at a dead server: never respondable
         action = Action(ActionKind.RESPOND, op_id=op_id)
         if actions and op_id < next(reversed(actions)):
             # Out-of-order arrival: re-establish ascending op-id order.
+            # Mutated in place (clear + update, never rebound) so that
+            # run_batched's hoisted reference stays valid.
             actions[op_id] = action
-            self._respond_actions = dict(sorted(actions.items()))
+            ordered = sorted(actions.items())
+            actions.clear()
+            actions.update(ordered)
         else:
             actions[op_id] = action
+
+    def arrive_fresh(self, op: LowLevelOp) -> None:
+        """In-order arrival of an op this kernel just triggered.
+
+        Transport-facing shortcut for :meth:`arrive` taken by the
+        in-process transport from inside :meth:`trigger`: the op is
+        known to be pending, not a duplicate, its id is the largest ever
+        issued (so sorted order is preserved by appending), and its
+        object is known live (checked by the caller) — every guard in
+        :meth:`arrive` would pass vacuously.
+        """
+        op_id = op.op_id
+        self._respond_actions[op_id] = Action(ActionKind.RESPOND, op_id=op_id)
 
     def _respond(self, op: LowLevelOp) -> None:
         transport = self.transport
@@ -391,11 +495,15 @@ class Kernel:
             # local objects are an unconsulted shadow.
             op.result = transport.result_for(op)
         else:
-            op.result = self.object_map.object(op.object_id).apply(op)
+            obj = op.obj
+            if obj is None:  # op not triggered here (e.g. wire-decoded)
+                obj = self.object_map.object(op.object_id)
+            op.result = obj.apply(op)
         op.respond_time = self.time
         del self.pending[op.op_id]
         self._respond_actions.pop(op.op_id, None)
-        self._veto_cache.pop(op.op_id, None)
+        if self._veto_cache:
+            self._veto_cache.pop(op.op_id, None)
         if self._subs_respond:
             event = RespondEvent(self.time, op)
             for emit in self._subs_respond:
@@ -405,11 +513,19 @@ class Kernel:
         transport.send_response(op)
 
     def deliver(self, op: LowLevelOp) -> None:
-        """A response leg reached its client (transport-facing)."""
+        """A response leg reached its client (transport-facing).
+
+        Delivery cannot change the client's scheduling category:
+        ``on_response`` handlers only see the context, whose sole
+        category-changing call — ``spawn`` — updates the category itself
+        (see :meth:`ClientRuntime.spawn`).  Only the wait predicates may
+        flip, so marking them dirty suffices; the full ``_sched_category``
+        rescan is skipped.
+        """
         client = self.clients.get(op.client_id)
         if client is not None:
             client.deliver_response(op)
-            self._refresh_client(op.client_id)
+            client._poll_dirty = True
 
     # -- high-level operation recording ------------------------------------------
 
@@ -491,19 +607,15 @@ class Kernel:
         :mod:`repro.sim.client`).
         """
         actions: "List[Action]" = []
-        enabled = self._enabled_clients
-        client_actions = self._client_actions
-        clients = self.clients
-        for client_id in self._candidates:
-            if client_id in enabled:
-                actions.append(client_actions[client_id])
+        for runtime in self._candidates:
+            if runtime._category == SCHED_ENABLED:
+                actions.append(runtime.action)
             else:  # polling: blocked on wait predicates
-                runtime = clients[client_id]
                 if runtime._poll_dirty:
                     runtime._poll_cache = runtime._poll_now()
                     runtime._poll_dirty = False
                 if runtime._poll_cache:
-                    actions.append(client_actions[client_id])
+                    actions.append(runtime.action)
         if self._respond_actions:
             actions.extend(self._respond_actions.values())
         return actions
@@ -576,12 +688,15 @@ class Kernel:
             try:
                 runtime.step()
             finally:
-                self._refresh_client(action.client_id)
+                self._recategorize(runtime)
         else:
             op = self.pending.get(action.op_id)
             if op is None:
                 raise ValueError(f"{action.op_id} is not pending")
-            if self.object_map.object(op.object_id).crashed:
+            obj = op.obj
+            if obj is None:
+                obj = self.object_map.object(op.object_id)
+            if obj.crashed:
                 raise RuntimeError(f"respond on crashed object: {op}")
             self._respond(op)
         for emit in self._subs_step:
@@ -646,6 +761,202 @@ class Kernel:
         finally:
             global _TOTAL_STEPS
             _TOTAL_STEPS += steps
+
+    def run_batched(
+        self,
+        max_steps: int = 100_000,
+        until: Optional[Callable[["Kernel"], bool]] = None,
+        batch_size: int = 64,
+    ) -> RunResult:
+        """Run under the scheduler/environment, amortizing loop overhead.
+
+        Observationally identical to :meth:`run` with
+        ``incremental=True``: the scheduler sees the same allowed-action
+        lists in the same order on every step, so the chosen action
+        sequence — and with it histories, traces, and the golden
+        transport fingerprints — is byte-for-byte unchanged.  What
+        changes is the bookkeeping *around* each step: the loop
+        re-validates its fast-path preconditions (the default
+        all-allowing :class:`Environment`, the in-process transport)
+        once per ``batch_size`` steps instead of on every step, hoists
+        the incremental structures and bound methods into locals, and
+        inlines action execution — including the in-process response
+        delivery — removing several layers of per-step dispatch.
+
+        The scheduler is still consulted once per action.  Handing it K
+        actions at a time would change which run is chosen (each choice
+        both consumes seeded randomness and determines the next enabled
+        set) and would move fairness and the adversary semantics out of
+        per-action choice; batching therefore amortizes collection and
+        dispatch, never decisions.  See ``docs/MODEL.md``, "Performance".
+
+        Configurations the fast path does not cover (a vetoing
+        environment, an active transport with in-flight messages) fall
+        back — per batch, so mid-run swaps surface within ``batch_size``
+        steps — to a loop that replicates :meth:`run` step for step.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        from repro.net.transport import InProcTransport
+
+        steps = 0
+        try:
+            while steps < max_steps:
+                budget = max_steps - steps
+                if budget > batch_size:
+                    budget = batch_size
+                if (
+                    type(self.environment).allows is Environment.allows
+                    and type(self.transport) is InProcTransport
+                ):
+                    taken, reason = self._batch_fast(budget, until)
+                else:
+                    taken, reason = self._batch_general(budget, until)
+                steps += taken
+                if reason is not None:
+                    return RunResult(steps, reason)
+            if until is not None and until(self):
+                return RunResult(steps, "until")
+            return RunResult(steps, "max_steps")
+        finally:
+            global _TOTAL_STEPS
+            _TOTAL_STEPS += steps
+
+    def _batch_fast(self, budget: int, until) -> "tuple[int, Optional[str]]":
+        """Up to ``budget`` steps of the inlined fast path.
+
+        Preconditions (checked by :meth:`run_batched` before every
+        batch): the default environment (nothing is ever vetoed, so
+        ``"blocked"`` is unreachable and the veto filter is the
+        identity) and the in-process transport (no pump / flush_idle, a
+        request arrives inside ``trigger``, a response delivers inside
+        the respond step).  Every structure hoisted here is mutated in
+        place by the kernel's event handlers, never rebound, so the
+        locals stay current as crash plans and listeners fire mid-batch.
+
+        Returns ``(steps_taken, reason)`` with ``reason`` None while the
+        budget is exhausted without terminating.
+        """
+        from repro.sim.scheduling import RandomScheduler
+
+        candidates = self._candidates
+        respond_actions = self._respond_actions
+        veto_cache = self._veto_cache
+        pending = self.pending
+        clients = self.clients
+        scheduler = self.scheduler
+        choose = scheduler.choose
+        # The random scheduler's choice is one seeded index — hoisting
+        # the bound ``_randbelow`` skips the ``choose`` frame per step
+        # while consuming the identical random stream.
+        pick = (
+            scheduler._pick if type(scheduler) is RandomScheduler else None
+        )
+        recategorize = self._recategorize
+        subs_step = self._subs_step
+        subs_respond = self._subs_respond
+        client_kind = ActionKind.CLIENT
+        enabled_category = SCHED_ENABLED
+        n = 0
+        while n < budget:
+            if until is not None and until(self):
+                return n, "until"
+            actions = []
+            append = actions.append
+            for runtime in candidates:
+                if runtime._category == enabled_category:
+                    append(runtime.action)
+                else:  # polling: blocked on wait predicates
+                    if runtime._poll_dirty:
+                        runtime._poll_cache = runtime._poll_now()
+                        runtime._poll_dirty = False
+                    if runtime._poll_cache:
+                        append(runtime.action)
+            if respond_actions:
+                actions += respond_actions.values()
+            if not actions:
+                return n, "quiescent"
+            if pick is not None:
+                action = actions[pick(len(actions))]
+            else:
+                action = choose(actions, self)
+            time = self.time = self.time + 1
+            if action.kind is client_kind:
+                runtime = clients[action.client_id]
+                try:
+                    runtime.step()
+                finally:
+                    recategorize(runtime)
+            else:
+                op_id = action.op_id
+                op = pending.get(op_id)
+                if op is None:
+                    raise ValueError(f"{op_id} is not pending")
+                obj = op.obj
+                if obj is None:
+                    obj = self.object_map.object(op.object_id)
+                if obj.crashed:
+                    raise RuntimeError(f"respond on crashed object: {op}")
+                # Support was checked at trigger and crash just above, so
+                # the wrapper re-checks in BaseObject.apply are redundant.
+                op.result = obj._apply(op)
+                op.respond_time = time
+                del pending[op_id]
+                respond_actions.pop(op_id, None)
+                if veto_cache:
+                    veto_cache.pop(op_id, None)
+                if subs_respond:
+                    event = RespondEvent(time, op)
+                    for emit in subs_respond:
+                        emit(event)
+                # Inlined InProcTransport.send_response -> deliver.
+                # Delivery can't change the category (see deliver()),
+                # only the predicates: mark them dirty and move on.
+                client = clients.get(op.client_id)
+                if client is not None:
+                    client.deliver_response(op)
+                    client._poll_dirty = True
+            if subs_step:
+                for emit in subs_step:
+                    emit(time)
+            n += 1
+        return n, None
+
+    def _batch_general(
+        self, budget: int, until
+    ) -> "tuple[int, Optional[str]]":
+        """Up to ``budget`` steps replicating :meth:`run` exactly.
+
+        The fallback for configurations the fast path does not cover
+        (vetoing environments, active transports); each iteration is the
+        body of :meth:`run`'s incremental loop, so behavior — including
+        pump ordering, stall handling, and idle flushes — is identical.
+        """
+        collect = self._collect_enabled
+        transport = self.transport if self.transport.active else None
+        n = 0
+        while n < budget:
+            if until is not None and until(self):
+                return n, "until"
+            if transport is not None:
+                transport.pump()
+            enabled = collect()
+            if not enabled:
+                if transport is not None and transport.flush_idle():
+                    continue  # a delivery landed: re-evaluate
+                return n, "quiescent"
+            allowed = self._filter_allowed(enabled)
+            if not allowed:
+                if self.environment.on_stall(self):
+                    allowed = self._filter_allowed(collect())
+                if not allowed:
+                    if transport is not None and transport.flush_idle():
+                        continue  # an in-flight delivery may unblock
+                    return n, "blocked"
+            action = self.scheduler.choose(allowed, self)
+            self.execute(action)
+            n += 1
+        return n, None
 
     # -- queries used by analysis/adversaries ---------------------------------
 

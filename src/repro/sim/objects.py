@@ -17,7 +17,6 @@ object history and keeps the simulation deterministic given a schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 
@@ -44,25 +43,57 @@ class OpKind(Enum):
         return self in (OpKind.WRITE, OpKind.WRITE_MAX, OpKind.CAS)
 
 
-@dataclass
 class LowLevelOp:
     """One triggered low-level operation instance.
 
     ``respond_time is None`` while the operation is pending.  The result is
     computed when (and only when) the respond step executes.
+
+    A ``__slots__`` class rather than a dataclass: one instance is
+    allocated per trigger and its attributes are read on every kernel
+    arrive/respond, so attribute storage is flat.  ``obj`` caches the
+    kernel-local base object the op targets (filled in by
+    ``Kernel.trigger``; ``None`` for ops rebuilt from the wire, whose
+    effect is applied to a replica's object instead).
     """
 
-    op_id: OpId
-    client_id: ClientId
-    object_id: ObjectId
-    kind: OpKind
-    args: tuple
-    trigger_time: int
-    respond_time: Optional[int] = None
-    result: Any = None
-    #: The high-level operation (history sequence number) on whose behalf
-    #: this low-level op was triggered, if any.  Used by analysis only.
-    highlevel_seq: Optional[int] = None
+    __slots__ = (
+        "op_id",
+        "client_id",
+        "object_id",
+        "kind",
+        "args",
+        "trigger_time",
+        "respond_time",
+        "result",
+        "highlevel_seq",
+        "obj",
+    )
+
+    def __init__(
+        self,
+        op_id: OpId,
+        client_id: ClientId,
+        object_id: ObjectId,
+        kind: "OpKind",
+        args: tuple,
+        trigger_time: int,
+        respond_time: Optional[int] = None,
+        result: Any = None,
+        highlevel_seq: Optional[int] = None,
+    ):
+        self.op_id = op_id
+        self.client_id = client_id
+        self.object_id = object_id
+        self.kind = kind
+        self.args = args
+        self.trigger_time = trigger_time
+        self.respond_time = respond_time
+        self.result = result
+        #: The high-level operation (history sequence number) on whose
+        #: behalf this low-level op was triggered, if any.  Analysis only.
+        self.highlevel_seq = highlevel_seq
+        self.obj = None
 
     @property
     def pending(self) -> bool:

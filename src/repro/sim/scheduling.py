@@ -28,14 +28,22 @@ class Scheduler:
 
 
 class RandomScheduler(Scheduler):
-    """Seeded uniform random choice among allowed actions."""
+    """Seeded uniform random choice among allowed actions.
+
+    ``choose`` indexes with ``Random._randbelow`` directly — for a
+    positive int bound this is exactly what ``randrange`` reduces to
+    (identical consumption of the seeded stream, so recorded schedules
+    and golden fingerprints are unchanged), minus ``randrange``'s
+    argument normalization on every step.
+    """
 
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._rng = random.Random(seed)
+        self._pick = self._rng._randbelow
 
     def choose(self, actions: "List[Action]", kernel) -> Action:
-        return actions[self._rng.randrange(len(actions))]
+        return actions[self._pick(len(actions))]
 
 
 class RoundRobinScheduler(Scheduler):

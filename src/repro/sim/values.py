@@ -31,22 +31,34 @@ class TSVal:
         """The comparison key ``(ts, wid)``."""
         return (self.ts, self.wid)
 
+    # Comparisons spell out the (ts, wid) lexicographic order instead of
+    # building key() tuples: collects compare timestamps on every scan
+    # response, so the tuple allocations showed up in kernel profiles.
+
     def __lt__(self, other: "TSVal") -> bool:
-        return self.key() < other.key()
+        if self.ts != other.ts:
+            return self.ts < other.ts
+        return self.wid < other.wid
 
     def __le__(self, other: "TSVal") -> bool:
-        return self.key() <= other.key()
+        if self.ts != other.ts:
+            return self.ts < other.ts
+        return self.wid <= other.wid
 
     def __gt__(self, other: "TSVal") -> bool:
-        return self.key() > other.key()
+        if self.ts != other.ts:
+            return self.ts > other.ts
+        return self.wid > other.wid
 
     def __ge__(self, other: "TSVal") -> bool:
-        return self.key() >= other.key()
+        if self.ts != other.ts:
+            return self.ts > other.ts
+        return self.wid >= other.wid
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TSVal):
             return NotImplemented
-        return self.key() == other.key()
+        return self.ts == other.ts and self.wid == other.wid
 
     def __hash__(self) -> int:
         return hash(self.key())

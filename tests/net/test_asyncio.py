@@ -104,10 +104,13 @@ class TestAddressValidation:
             spec.build()
 
 
-def run_cluster(algorithm, seed=0, rounds=2):
+def run_cluster(algorithm, seed=0, rounds=2, codec="json"):
     params, write_op, read_op, value_kind, _ = SCENARIOS[algorithm]
     spec = EmulationSpec.make(
-        algorithm, seed=seed, transport=TransportConfig.asyncio(), **params
+        algorithm,
+        seed=seed,
+        transport=TransportConfig.asyncio(codec=codec),
+        **params,
     )
     emulation = spec.build()
     transport = emulation.kernel.transport
@@ -134,9 +137,11 @@ def run_cluster(algorithm, seed=0, rounds=2):
 
 
 class TestCluster:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
     @pytest.mark.parametrize("algorithm", sorted(SCENARIOS))
-    def test_every_algorithm_runs_over_sockets(self, algorithm):
-        emulation, transport = run_cluster(algorithm)
+    def test_every_algorithm_runs_over_sockets(self, algorithm, codec):
+        emulation, transport = run_cluster(algorithm, codec=codec)
+        assert transport.codec.name == codec
         check = SCENARIOS[algorithm][4]
         history = emulation.history
         if check == "ws":

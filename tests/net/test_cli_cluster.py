@@ -15,11 +15,20 @@ class TestParser:
         assert args.algorithm == "abd"
         assert args.rounds == 2
         assert args.address == []
+        assert args.codec == "json"
+        assert args.batch_size is None
         assert not args.demo
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert (args.server, args.host, args.port) == (0, "127.0.0.1", 0)
+        assert args.codec == "json"
+
+    def test_codec_choices(self):
+        args = build_parser().parse_args(["cluster", "--codec", "binary"])
+        assert args.codec == "binary"
+        args = build_parser().parse_args(["serve", "--codec", "binary"])
+        assert args.codec == "binary"
 
 
 class TestClusterCommand:
@@ -33,6 +42,14 @@ class TestClusterCommand:
         assert main(["cluster", "--algorithm", "single-cas"]) == 0
         out = capsys.readouterr().out
         assert "single-cas over real sockets" in out
+        assert "safety check passed" in out
+
+    def test_demo_with_binary_codec_and_batched_kernel(self, capsys):
+        assert main(
+            ["cluster", "--demo", "--codec", "binary", "--batch-size", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "abd over real sockets" in out
         assert "safety check passed" in out
 
     def test_serve_rejects_unknown_server_index(self, capsys):

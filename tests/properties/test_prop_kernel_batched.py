@@ -1,0 +1,123 @@
+"""Differential property tests: ``run_batched`` IS ``run``.
+
+``Kernel.run_batched`` amortizes per-step bookkeeping (precondition
+revalidation once per batch, hoisted locals, inlined execution) but must
+never change a single decision: the scheduler is still consulted once
+per action over the same allowed-action list, so the chosen action
+sequence — and with it the recorded history and the full kernel event
+trace — must be byte-for-byte identical to ``run(incremental=True)``.
+
+These tests fingerprint (sha256 of serialized history, sha256 of the
+formatted trace) a seeded run for every batch size in ``BATCH_SIZES``
+against the unbatched run of the same scenario, across the schedule
+kinds that exercise every fallback of the batched loop:
+
+* ``plain`` — the inlined fast path end to end;
+* ``chaos`` — a vetoing environment: every batch falls back to the
+  general (step-replicating) loop;
+* ``crash`` — a mid-run server crash arriving through a step listener;
+* ``lossy`` — an active transport with in-flight messages and seeded
+  duplicate/reorder/delay fates (drops excluded: the run must drain).
+
+Batch size 1 is the degenerate case (revalidation every step); 64 is
+the default the benchmarks and the CLI use.
+"""
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ws_register import WSRegisterEmulation
+from repro.net import TransportConfig, chaos_faults
+from repro.sim.chaos import ChaosEnvironment
+from repro.sim.failures import CrashPlan
+from repro.sim.ids import ServerId
+from repro.sim.scheduling import RandomScheduler
+from repro.sim.tracing import TraceRecorder, format_entry
+
+BATCH_SIZES = (1, 4, 16, 64)
+SCHEDULES = ("plain", "chaos", "crash", "lossy")
+
+
+def _fingerprint(seed, schedule, batch_size, rounds=3):
+    """(history sha, trace sha) of one seeded WSRegister scenario.
+
+    ``batch_size=None`` runs the plain incremental loop; an int routes
+    through ``run_batched`` via ``SimSystem.run_to_quiescence``.
+    """
+    emu = WSRegisterEmulation(2, 5, 2, scheduler=RandomScheduler(seed))
+    kernel = emu.kernel
+    if schedule == "chaos":
+        kernel.environment = ChaosEnvironment(
+            seed=seed + 17, veto_probability=0.4, max_delay=60
+        )
+    elif schedule == "crash":
+        CrashPlan().crash_server_at(25, ServerId(0)).install(kernel)
+    elif schedule == "lossy":
+        kernel.set_transport(
+            TransportConfig.lossy(
+                chaos_faults(
+                    drop=0.0, duplicate=0.05, reorder=0.3, max_delay=20
+                ),
+                seed=seed + 3,
+            ).build()
+        )
+    recorder = TraceRecorder()
+    kernel.add_listener(recorder)
+    writers = [emu.add_writer(index) for index in range(2)]
+    readers = [emu.add_reader() for _ in range(2)]
+    counter = 0
+    for _ in range(rounds):
+        for writer_index, writer in enumerate(writers):
+            counter += 1
+            writer.enqueue("write", f"w{writer_index}-{counter}")
+        for reader in readers:
+            reader.enqueue("read")
+        result = emu.system.run_to_quiescence(
+            max_steps=100_000, batch_size=batch_size
+        )
+        assert result.satisfied, (
+            f"seed={seed} schedule={schedule} batch={batch_size} did not"
+            f" reach quiescence: {result}"
+        )
+    kernel.remove_listener(recorder)
+    assert recorder.entries, "the trace recorder saw no events"
+    history_blob = json.dumps(
+        emu.history.to_dicts(), sort_keys=True
+    ).encode("utf-8")
+    trace_blob = "\n".join(
+        format_entry(entry) for entry in recorder.entries
+    ).encode("utf-8")
+    return (
+        hashlib.sha256(history_blob).hexdigest(),
+        hashlib.sha256(trace_blob).hexdigest(),
+    )
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_every_batch_size_matches_unbatched(schedule):
+    """All of ``BATCH_SIZES`` reproduce the unbatched run exactly."""
+    seed = 123
+    baseline = _fingerprint(seed, schedule, batch_size=None)
+    for batch_size in BATCH_SIZES:
+        assert _fingerprint(seed, schedule, batch_size) == baseline, (
+            f"run_batched(batch_size={batch_size}) diverged from run()"
+            f" under the {schedule} schedule"
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    batch_size=st.sampled_from(BATCH_SIZES),
+    schedule=st.sampled_from(SCHEDULES),
+)
+@settings(max_examples=20, deadline=None)
+def test_batched_matches_unbatched_random_scenarios(
+    seed, batch_size, schedule
+):
+    assert _fingerprint(seed, schedule, batch_size) == _fingerprint(
+        seed, schedule, batch_size=None
+    )

@@ -120,7 +120,6 @@ def test_check_incremental_detects_divergence():
     client = system.add_client(ClientId(0), ToyProtocol())
     client.enqueue("write", 1)  # the client is now genuinely enabled
     # Corrupt the incremental state behind the kernel's back.
-    system.kernel._enabled_clients.discard(ClientId(0))
     system.kernel._candidates.clear()
     with pytest.raises(RuntimeError, match="diverged"):
         system.kernel.check_incremental()
