@@ -17,19 +17,24 @@ from repro.apps.kv import ReplicatedKVStore
 
 
 def exercise(store: ReplicatedKVStore) -> None:
-    store.put("user:1", "ada")
-    store.put("user:2", "grace", writer_index=1)
-    store.put("cart:9", ["book"], writer_index=2)
-    store.put("user:1", "ada lovelace")
+    with store.session(writer=0) as alice:
+        alice.put("user:1", "ada")
+        alice.put("user:1", "ada lovelace")
+    with store.session(writer=1) as bob:
+        bob.put("user:2", "grace")
+    with store.session(writer=2) as carol:
+        carol.put("cart:9", ["book"])
 
     store.crash_server(0)           # f = 2 crashes: the store keeps going
     store.crash_server(3)
 
-    assert store.get("user:1") == "ada lovelace"
-    assert store.get("user:2") == "grace"
-    assert store.get("cart:9") == ["book"]
-    store.put("user:2", "grace hopper", writer_index=2)
-    assert store.get("user:2") == "grace hopper"
+    with store.session() as reader:     # read-only session: no writer slot
+        assert reader.get("user:1") == "ada lovelace"
+        assert reader.get("user:2") == "grace"
+        assert reader.get("cart:9") == ["book"]
+    with store.session(writer=2) as carol:
+        carol.put("user:2", "grace hopper")
+        assert carol.get("user:2") == "grace hopper"
 
     audit = store.audit()
     assert all(audit.values()), audit

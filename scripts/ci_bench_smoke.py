@@ -1,7 +1,7 @@
 """CI bench-regression smoke: ratio metrics must not regress >20%.
 
-Runs the three perf benchmarks (kernel hot path, transport seam, wire
-codec/pipelining) in their smoke modes and compares every
+Runs the perf benchmarks (kernel hot path, transport seam, wire
+codec/pipelining, sharded-KV loadgen) in their smoke modes and compares every
 *machine-portable* metric against the checked-in ``BENCH_*.json``
 artifacts.  Absolute steps/sec and ops/sec are not comparable across
 machines, so only same-process ratios are checked — speedups of one
@@ -14,7 +14,11 @@ implementation over another measured in the same run:
   ``lossy-idle`` transports (``lossy-chaos`` does real per-message
   fault work and swings too much on shared runners to gate on);
 * ``BENCH_wire.json`` — ``vs_per_leg_json`` for the two pipelined
-  entries plus the end-to-end ``emulation`` ratio.
+  entries plus the end-to-end ``emulation`` ratio;
+* ``BENCH_kv.json`` — ``sustained_fraction`` (completed / offered ops
+  across the fault gauntlet) and the per-key ``audit.ok_fraction``.
+  Both are dimensionless fractions of the same run, recorded at 1.0;
+  a consistency violation or lost operations fail the gate outright.
 
 A metric fails the gate when the fresh smoke value drops below
 ``(1 - tolerance)`` of the recorded one; faster-than-recorded is never
@@ -46,6 +50,10 @@ BENCH_DIR = os.path.join(REPO, "benchmarks")
 TOLERANCE = 0.20
 #: cross-process RTT denominators jitter more on shared runners.
 WIRE_TOLERANCE = 0.40
+#: the KV fractions are correctness-shaped (recorded at 1.0); a small
+#: allowance covers ops stranded by the bounded drain window on a
+#: heavily loaded runner, nothing more.
+KV_TOLERANCE = 0.02
 
 #: bench module -> (artifact file, smoke env var, tolerance)
 BENCHES = {
@@ -57,6 +65,9 @@ BENCHES = {
     ),
     "test_bench_wire.py": (
         "BENCH_wire.json", "BENCH_WIRE_SMOKE", WIRE_TOLERANCE
+    ),
+    "test_bench_kv.py": (
+        "BENCH_kv.json", "BENCH_KV_SMOKE", KV_TOLERANCE
     ),
 }
 
@@ -82,6 +93,9 @@ def _ratio_metrics(artifact: dict) -> "dict[str, float]":
         metrics["emulation.pipelined-binary.vs_per_leg_json"] = (
             artifact["emulation"]["pipelined-binary"]["vs_per_leg_json"]
         )
+    elif name == "kv_loadgen":
+        metrics["kv.sustained_fraction"] = artifact["sustained_fraction"]
+        metrics["kv.audit_ok_fraction"] = artifact["audit"]["ok_fraction"]
     else:
         raise SystemExit(f"unknown benchmark artifact: {name!r}")
     return metrics

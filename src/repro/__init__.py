@@ -47,7 +47,14 @@ from repro.consistency import (
 )
 from repro.apps.config import ConfigService, InstallRaced
 from repro.apps.epoch import EpochService
-from repro.apps.kv import KVConfig, ReplicatedKVStore
+from repro.apps.kv import KVConfig, KVSession, ReplicatedKVStore
+from repro.apps.shard import (
+    ShardConfig,
+    ShardedKVService,
+    ShardServiceConfig,
+    run_loadgen,
+)
+from repro.errors import ReproError
 from repro.exec import Cell, Grid, ResultCache, run_experiment_grid
 from repro.experiments import ExperimentResult, run_experiment
 from repro.verify import VerificationReport, verify_run
@@ -71,12 +78,17 @@ __all__ = [
     "Grid",
     "InstallRaced",
     "KVConfig",
+    "KVSession",
     "Lemma1Runner",
     "MultiRegisterDeployment",
     "RegisterLayout",
     "ReplicatedKVStore",
     "ReplicatedMaxRegisterEmulation",
+    "ReproError",
     "ResultCache",
+    "ShardConfig",
+    "ShardServiceConfig",
+    "ShardedKVService",
     "SingleCASMaxRegister",
     "VerificationReport",
     "WSRegisterEmulation",
@@ -87,6 +99,7 @@ __all__ = [
     "is_register_history_atomic",
     "run_experiment",
     "run_experiment_grid",
+    "run_loadgen",
     "run_workload",
     "verify_run",
     "write_sequential_workload",

@@ -11,16 +11,34 @@ two such services end to end:
   service on the f-tolerant max-register.
 * :mod:`repro.apps.config` — an epoch-guarded configuration store (the
   reconfiguration kernel the paper's citations consume).
+* :mod:`repro.apps.shard` — the sharded KV service: keys hash to
+  independent register fleets, served in-process or over sockets,
+  driven by an open-loop Zipfian load generator.
 """
 
 from repro.apps.config import ConfigService, InstallRaced
 from repro.apps.epoch import EpochService
-from repro.apps.kv import KVConfig, ReplicatedKVStore
+from repro.apps.kv import KVConfig, KVSession, ReplicatedKVStore
+from repro.apps.shard import (
+    ShardConfig,
+    ShardedKVService,
+    ShardFleet,
+    ShardRouter,
+    ShardServiceConfig,
+    run_loadgen,
+)
 
 __all__ = [
     "ConfigService",
     "EpochService",
     "InstallRaced",
     "KVConfig",
+    "KVSession",
     "ReplicatedKVStore",
+    "ShardConfig",
+    "ShardFleet",
+    "ShardRouter",
+    "ShardServiceConfig",
+    "ShardedKVService",
+    "run_loadgen",
 ]

@@ -9,14 +9,32 @@ inherits Table 1's space economics:
 * ``"register"``: kf + ceil(k/z)(f+1) base objects per key, k fixed
   writers (the store enforces the writer bound).
 
-The store exposes synchronous ``put``/``get`` (each drives the simulated
-system to quiescence) plus an ``audit()`` that replays every key's
-history through the appropriate consistency checker.
+Clients talk to the store through *sessions*::
+
+    store = ReplicatedKVStore(KVConfig.make("max-register", n=5, f=2))
+    with store.session(writer=0) as s:
+        s.put("alpha", 1)
+        assert s.get("alpha") == 1
+        s.delete("alpha")
+
+A session carries the writer identity once, instead of every ``put``
+carrying a positional ``writer_index``; any number of sessions may be
+open concurrently (the sharded service in :mod:`repro.apps.shard`
+multiplexes thousands).  The pre-session methods
+``put(key, value, writer_index=...)`` / ``delete(key, writer_index=...)``
+remain as thin deprecated shims.
+
+Failures are typed (:mod:`repro.errors`): an out-of-range writer raises
+:class:`~repro.errors.WriterBoundExceeded`, a stalled quorum raises
+:class:`~repro.errors.QuorumUnavailable`, and a full shared fleet raises
+:class:`~repro.errors.ShardCapacityExceeded`.  ``audit()`` replays every
+key's history through the appropriate consistency checker.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.consistency.register_atomicity import is_register_history_atomic
@@ -24,13 +42,18 @@ from repro.consistency.ws import check_ws_regular
 from repro.core.abd import ABDEmulation
 from repro.core.cas_maxreg import CASABDEmulation
 from repro.core.ws_register import WSRegisterEmulation
+from repro.errors import (
+    QuorumUnavailable,
+    ShardCapacityExceeded,
+    WriterBoundExceeded,
+)
 from repro.sim.scheduling import RandomScheduler
 
 SUBSTRATES = ("register", "max-register", "cas")
 
 
 class _Tombstone:
-    """Sentinel written by :meth:`ReplicatedKVStore.delete`."""
+    """Sentinel written by :meth:`KVSession.delete`."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<deleted>"
@@ -45,9 +68,14 @@ class _Tombstone:
 TOMBSTONE = _Tombstone()
 
 
-@dataclass
+@dataclass(frozen=True)
 class KVConfig:
     """Deployment parameters of the store.
+
+    Validated eagerly at construction (``__post_init__``), frozen and
+    picklable, so a config can travel inside experiment specs and key
+    the result cache (:meth:`cache_payload`) exactly like
+    :class:`~repro.net.config.TransportConfig` does.
 
     ``shared_fleet=True`` (register substrate only) hosts every key on
     one physical fleet: a single crash event hits all keys and per-server
@@ -63,6 +91,14 @@ class KVConfig:
     seed: int = 0
     shared_fleet: bool = False
     max_keys: int = 16
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @classmethod
+    def make(cls, substrate: str = "max-register", **params) -> "KVConfig":
+        """Build a config, mirroring ``EmulationSpec.make``'s shape."""
+        return cls(substrate=substrate, **params)
 
     def validate(self) -> None:
         if self.substrate not in SUBSTRATES:
@@ -84,12 +120,95 @@ class KVConfig:
         if self.max_keys <= 0:
             raise ValueError("max_keys must be positive")
 
+    def cache_payload(self) -> "Dict[str, Any]":
+        """A canonical JSON-able form for result-cache cell keys."""
+        return asdict(self)
+
 
 @dataclass
 class _KeyState:
     emulation: Any
     writers: "Dict[int, Any]" = field(default_factory=dict)
     reader: Any = None
+
+
+class KVSession:
+    """One client's handle on a store: a writer identity plus
+    ``put``/``get``/``delete``/``scan``.
+
+    Sessions are context managers; a closed session refuses further
+    operations.  Read-only sessions pass ``writer=None`` — their ``put``
+    and ``delete`` raise :class:`~repro.errors.WriterBoundExceeded`.
+    """
+
+    def __init__(self, store: "ReplicatedKVStore", writer: "Optional[int]"):
+        if writer is not None:
+            store._check_writer(writer)
+        self._store = store
+        self.writer = writer
+        self.closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "KVSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("operation on a closed KV session")
+
+    def _writer_index(self) -> int:
+        if self.writer is None:
+            raise WriterBoundExceeded(
+                "read-only session (opened with writer=None) cannot write"
+            )
+        return self.writer
+
+    # -- operations --------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Write ``value`` to ``key`` as this session's writer."""
+        self._check_open()
+        self._store._put(key, value, self._writer_index())
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key``; ``default`` for never-written or deleted keys."""
+        self._check_open()
+        return self._store._get(key, default)
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (writes a tombstone; registers cannot shrink).
+
+        Deleting an unknown key is a no-op.
+        """
+        self._check_open()
+        self._store._delete(key, self._writer_index())
+
+    def scan(self, prefix: str = "") -> "Dict[str, Any]":
+        """Read every live key starting with ``prefix`` (sorted).
+
+        Per-key consistent, not an atomic multi-key snapshot — each
+        entry individually satisfies the substrate's condition.
+        """
+        self._check_open()
+        view = {}
+        for key in self._store.keys():
+            if not key.startswith(prefix):
+                continue
+            value = self._store._get(key, None)
+            if value is not None:
+                view[key] = value
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"KVSession(writer={self.writer}, {state})"
 
 
 class ReplicatedKVStore:
@@ -99,14 +218,12 @@ class ReplicatedKVStore:
         self.config = config or KVConfig(**overrides)
         if overrides and config is not None:
             raise ValueError("pass either a KVConfig or keyword overrides")
-        self.config.validate()
         self._keys: "Dict[str, _KeyState]" = {}
         self._seed = self.config.seed
         self._fleet = None
         self._fleet_next = 0
         if self.config.shared_fleet:
             from repro.core.multi import MultiRegisterDeployment
-            from repro.sim.scheduling import RandomScheduler
 
             self._fleet = MultiRegisterDeployment(
                 m=self.config.max_keys,
@@ -115,6 +232,16 @@ class ReplicatedKVStore:
                 f=self.config.f,
                 scheduler=RandomScheduler(self.config.seed),
             )
+
+    # -- sessions --------------------------------------------------------------
+
+    def session(self, writer: "Optional[int]" = 0) -> KVSession:
+        """Open a client session bound to writer ``writer``.
+
+        ``writer=None`` opens a read-only session.  Sessions are cheap;
+        open as many concurrently as there are clients.
+        """
+        return KVSession(self, writer)
 
     # -- deployment -----------------------------------------------------------
 
@@ -135,7 +262,7 @@ class ReplicatedKVStore:
         if state is None:
             if self._fleet is not None:
                 if self._fleet_next >= self.config.max_keys:
-                    raise RuntimeError(
+                    raise ShardCapacityExceeded(
                         f"shared fleet provisioned for"
                         f" {self.config.max_keys} keys; {key!r} exceeds it"
                     )
@@ -148,51 +275,79 @@ class ReplicatedKVStore:
             self._keys[key] = state
         return state
 
-    def _writer(self, state: _KeyState, writer_index: int):
+    def _check_writer(self, writer_index: int) -> None:
         if not 0 <= writer_index < self.config.k_writers:
-            raise ValueError(
+            raise WriterBoundExceeded(
                 f"writer index {writer_index} out of range"
                 f" [0, {self.config.k_writers})"
             )
+
+    def _writer(self, state: _KeyState, writer_index: int):
+        self._check_writer(writer_index)
         runtime = state.writers.get(writer_index)
         if runtime is None:
             runtime = state.emulation.add_writer(writer_index)
             state.writers[writer_index] = runtime
         return runtime
 
-    # -- operations -------------------------------------------------------------
+    # -- operations (session-internal) -------------------------------------------
 
-    def put(self, key: str, value: Any, writer_index: int = 0) -> None:
-        """Write ``value`` to ``key`` on behalf of ``writer_index``."""
+    def _put(self, key: str, value: Any, writer_index: int) -> None:
         state = self._key_state(key)
         writer = self._writer(state, writer_index)
         writer.enqueue("write", value)
         result = state.emulation.system.run_to_quiescence()
         if not result.satisfied:
-            raise RuntimeError(f"put({key!r}) did not complete: {result}")
+            raise QuorumUnavailable(
+                f"put({key!r}) did not complete: {result}"
+            )
 
-    def get(self, key: str, default: Any = None) -> Any:
-        """Read ``key``; returns ``default`` for never-written or deleted
-        keys."""
+    def _get(self, key: str, default: Any = None) -> Any:
         state = self._keys.get(key)
         if state is None:
             return default
         state.reader.enqueue("read")
         result = state.emulation.system.run_to_quiescence()
         if not result.satisfied:
-            raise RuntimeError(f"get({key!r}) did not complete: {result}")
+            raise QuorumUnavailable(
+                f"get({key!r}) did not complete: {result}"
+            )
         value = state.emulation.history.reads[-1].result
         if value is None or value == TOMBSTONE:
             return default
         return value
 
-    def delete(self, key: str, writer_index: int = 0) -> None:
-        """Delete ``key`` (writes a tombstone; registers cannot shrink).
-
-        Deleting an unknown key is a no-op.
-        """
+    def _delete(self, key: str, writer_index: int) -> None:
         if key in self._keys:
-            self.put(key, TOMBSTONE, writer_index=writer_index)
+            self._put(key, TOMBSTONE, writer_index)
+
+    # -- deprecated pre-session surface ---------------------------------------
+
+    def put(self, key: str, value: Any, writer_index: int = 0) -> None:
+        """Deprecated: use ``store.session(writer=i).put(key, value)``."""
+        warnings.warn(
+            "ReplicatedKVStore.put(key, value, writer_index=...) is"
+            " deprecated; open a session instead:"
+            " store.session(writer=i).put(key, value)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._put(key, value, writer_index)
+
+    def delete(self, key: str, writer_index: int = 0) -> None:
+        """Deprecated: use ``store.session(writer=i).delete(key)``."""
+        warnings.warn(
+            "ReplicatedKVStore.delete(key, writer_index=...) is"
+            " deprecated; open a session instead:"
+            " store.session(writer=i).delete(key)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._delete(key, writer_index)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` (writer-free; equivalent to a read-only session)."""
+        return self._get(key, default)
 
     def keys(self) -> "List[str]":
         return sorted(self._keys)
@@ -206,7 +361,7 @@ class ReplicatedKVStore:
         """
         view = {}
         for key in self.keys():
-            value = self.get(key)
+            value = self._get(key)
             if value is not None:
                 view[key] = value
         return view

@@ -1,0 +1,118 @@
+"""Frozen, picklable configuration for the sharded KV service.
+
+Mirrors :class:`~repro.net.config.TransportConfig`: eager validation in
+``__post_init__``, classmethod constructors, and a ``cache_payload()``
+canonical form so shard configs can key the experiment engine's
+:class:`~repro.exec.ResultCache` and travel through pickled specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
+
+#: substrates a shard can run on; maps 1:1 to Table 1 rows (register =
+#: Algorithm 2's kf + ceil(k/z)(f+1) economics with a k-writer bound;
+#: max-register / cas = 2f+1 per slot, unbounded writers).
+SHARD_SUBSTRATES = ("register", "max-register", "cas")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """One shard: an independent emulated register fleet.
+
+    ``capacity`` register slots are provisioned up front — remote
+    replica processes are built from a static placement snapshot, so the
+    slot set cannot grow after deployment; keys are assigned to slots
+    lazily and a full shard raises
+    :class:`~repro.errors.ShardCapacityExceeded`.
+    """
+
+    substrate: str = "max-register"
+    n: int = 3
+    f: int = 1
+    k_writers: int = 4
+    capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.substrate not in SHARD_SUBSTRATES:
+            raise ValueError(
+                f"substrate must be one of {SHARD_SUBSTRATES},"
+                f" got {self.substrate!r}"
+            )
+        if self.n < 2 * self.f + 1:
+            raise ValueError(
+                f"n must be at least 2f+1 = {2 * self.f + 1}, got {self.n}"
+            )
+        if self.k_writers <= 0:
+            raise ValueError("k_writers must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    @classmethod
+    def make(cls, substrate: str = "max-register", **params) -> "ShardConfig":
+        """Build a shard config, mirroring ``EmulationSpec.make``."""
+        return cls(substrate=substrate, **params)
+
+    def cache_payload(self) -> "Dict[str, Any]":
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ShardServiceConfig:
+    """The whole service: a tuple of shards plus client-pool sizing.
+
+    Shards may be heterogeneous (different substrates or quorum
+    layouts); :meth:`make` builds the common uniform case.  ``seed``
+    derives every shard's scheduler seed; ``writer_pool`` bounds the
+    per-slot client pool that unbounded-writer substrates multiplex
+    sessions onto; ``reader_pool`` is the per-slot reader count.
+    """
+
+    shards: "Tuple[ShardConfig, ...]"
+    seed: int = 0
+    writer_pool: int = 4
+    reader_pool: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("need at least one shard")
+        if not all(isinstance(s, ShardConfig) for s in self.shards):
+            raise ValueError("shards must be ShardConfig instances")
+        if self.writer_pool <= 0:
+            raise ValueError("writer_pool must be positive")
+        if self.reader_pool <= 0:
+            raise ValueError("reader_pool must be positive")
+
+    @classmethod
+    def make(
+        cls,
+        shards: int = 3,
+        substrate: str = "max-register",
+        seed: int = 0,
+        writer_pool: int = 4,
+        reader_pool: int = 2,
+        **shard_params,
+    ) -> "ShardServiceConfig":
+        """A uniform service: ``shards`` identical :class:`ShardConfig`."""
+        if shards <= 0:
+            raise ValueError("need at least one shard")
+        shard = ShardConfig.make(substrate=substrate, **shard_params)
+        return cls(
+            shards=(shard,) * shards,
+            seed=seed,
+            writer_pool=writer_pool,
+            reader_pool=reader_pool,
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def cache_payload(self) -> "Dict[str, Any]":
+        return {
+            "shards": [shard.cache_payload() for shard in self.shards],
+            "seed": self.seed,
+            "writer_pool": self.writer_pool,
+            "reader_pool": self.reader_pool,
+        }

@@ -392,6 +392,75 @@ def cmd_cluster(args) -> int:
     return 0 if ok else 1
 
 
+def _shard_service_config(args):
+    from repro.apps.shard import ShardServiceConfig
+
+    return ShardServiceConfig.make(
+        shards=args.shards,
+        substrate=args.substrate,
+        n=args.n if args.n is not None else 3,
+        f=args.f if args.f is not None else 1,
+        k_writers=args.k if args.k is not None else 4,
+        capacity=args.capacity,
+        seed=getattr(args, "seed", 0) or 0,
+    )
+
+
+def _serve_shards(args) -> int:
+    """``repro serve --shards S``: host one node of a sharded service.
+
+    The process serves sim server ``--server`` of *every* shard — one
+    listener per shard, announced as ``serving s<i>/shard<j> on h:p``.
+    Placements are a pure function of the shard config, so the load
+    generator and every serve process rebuild identical base objects
+    from the same flags.
+    """
+    from repro.apps.shard import shard_placements
+    from repro.net.asyncio_transport import run_shard_servers
+
+    config = _shard_service_config(args)
+    shard_replicas = {}
+    for shard_index, shard in enumerate(config.shards):
+        placements, _ = shard_placements(shard)
+        replicas = [
+            (object_index, type_name, initial)
+            for object_index, (server_index, type_name, initial) in enumerate(
+                placements
+            )
+            if server_index == args.server
+        ]
+        if not replicas:
+            print(
+                f"error: no replicas for server {args.server} in shard"
+                f" {shard_index} (servers: 0..{shard.n - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        shard_replicas[shard_index] = replicas
+    ports = None
+    if args.ports:
+        values = [int(port) for port in args.ports.split(",")]
+        if len(values) != len(shard_replicas):
+            print(
+                f"error: --ports names {len(values)} port(s) for"
+                f" {len(shard_replicas)} shards",
+                file=sys.stderr,
+            )
+            return 2
+        ports = dict(enumerate(values))
+    try:
+        run_shard_servers(
+            args.server,
+            shard_replicas,
+            host=args.host,
+            ports=ports,
+            codec=args.codec,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.core.emulation import EmulationSpec
     from repro.net.asyncio_transport import (
@@ -399,6 +468,8 @@ def cmd_serve(args) -> int:
         snapshot_placements,
     )
 
+    if args.shards is not None:
+        return _serve_shards(args)
     spec = EmulationSpec.make(args.algorithm, seed=0, **_spec_params(args))
     try:
         emulation = spec.build()
@@ -427,6 +498,228 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _spawn_shard_node(args, server_index: int, ports=None):
+    """Start one `repro serve --shards` process; returns (proc, ports).
+
+    Blocks until the process announces every shard listener; ``ports``
+    pins the listener ports (process restart must reuse them so the
+    transports' reconnect loops find the replica again).
+    """
+    import os
+    import re
+    import subprocess
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--shards",
+        str(args.shards),
+        "--substrate",
+        args.substrate,
+        "-n",
+        str(args.n if args.n is not None else 3),
+        "-f",
+        str(args.f if args.f is not None else 1),
+        "-k",
+        str(args.k if args.k is not None else 4),
+        "--capacity",
+        str(args.capacity),
+        "--server",
+        str(server_index),
+        "--codec",
+        args.codec,
+    ]
+    if ports:
+        command += [
+            "--ports",
+            ",".join(str(ports[j]) for j in sorted(ports)),
+        ]
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ),
+    )
+    announced = {}
+    pattern = re.compile(r"serving s(\d+)/shard(\d+) on ([\d.]+):(\d+)")
+    while len(announced) < args.shards:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"serve process for server {server_index} exited before"
+                " announcing its listeners"
+            )
+        match = pattern.search(line)
+        if match:
+            announced[int(match.group(2))] = (
+                match.group(3),
+                int(match.group(4)),
+            )
+    return proc, announced
+
+
+def _loadgen_scenarios(args, service, procs, ports_by_server):
+    """Build the mid-run fault schedule for `repro loadgen`."""
+    import signal
+
+    from repro.apps.shard import Scenario
+
+    if args.scenario == "none":
+        return []
+    n = args.n if args.n is not None else 3
+    duration = args.duration
+    partition_target = 1 % n
+    crash_target = n - 1
+    events = []
+
+    def _partition():
+        service.partition({partition_target})
+        return f"blackholed server {partition_target} on every shard"
+
+    def _heal():
+        service.heal()
+        return "partition healed"
+
+    if procs:  # external serve processes: a crash is a real SIGKILL
+
+        def _crash():
+            procs[crash_target].send_signal(signal.SIGKILL)
+            procs[crash_target].wait()
+            return f"SIGKILLed serve process for server {crash_target}"
+
+        def _restart():
+            proc, _ = _spawn_shard_node(
+                args, crash_target, ports=ports_by_server[crash_target]
+            )
+            procs[crash_target] = proc
+            return (
+                f"restarted serve process for server {crash_target}"
+                " on its old ports"
+            )
+
+    else:  # self-hosted replicas: crash retains state (stable storage)
+
+        def _crash():
+            for fleet in service.fleets:
+                fleet.transport.crash_replica(crash_target)
+            return f"crashed self-hosted replica {crash_target}"
+
+        def _restart():
+            for fleet in service.fleets:
+                fleet.transport.restart_replica(crash_target)
+            return f"restarted replica {crash_target}"
+
+    events.append(Scenario(0.20 * duration, "partition", _partition))
+    events.append(Scenario(0.40 * duration, "heal", _heal))
+    events.append(Scenario(0.55 * duration, "crash", _crash))
+    events.append(Scenario(0.75 * duration, "restart", _restart))
+    return events
+
+
+def cmd_loadgen(args) -> int:
+    """Open-loop Zipfian load against a sharded KV service."""
+    import json
+    import time
+
+    from repro.apps.shard import ShardedKVService, run_loadgen
+
+    n = args.n if args.n is not None else 3
+    f = args.f if args.f is not None else 1
+    if args.transport == "spawn" and args.scenario == "gauntlet":
+        # A SIGKILLed serve process restarts with empty replicas —
+        # amnesia consumes failure budget beyond the f crash-stop
+        # allowance.  Every read quorum must still intersect every
+        # write quorum in a non-amnesiac server: n >= 2f + 2.
+        if n < 2 * f + 2:
+            print(
+                f"error: the spawn-mode crash+restart scenario needs"
+                f" n >= 2f+2 (restarted replicas lose their state);"
+                f" got n={n}, f={f}. Use -n {2 * f + 2} or"
+                " --scenario none",
+                file=sys.stderr,
+            )
+            return 2
+    config = _shard_service_config(args)
+    transports = None
+    procs = {}
+    ports_by_server = {}
+    if args.transport in ("asyncio", "spawn"):
+        from repro.net.asyncio_transport import AsyncioTransport
+
+        if args.transport == "spawn":
+            for server_index in range(n):
+                proc, announced = _spawn_shard_node(args, server_index)
+                procs[server_index] = proc
+                ports_by_server[server_index] = {
+                    shard: port for shard, (_, port) in announced.items()
+                }
+            transports = [
+                AsyncioTransport(
+                    addresses=tuple(
+                        f"127.0.0.1:{ports_by_server[i][shard_index]}"
+                        for i in range(n)
+                    ),
+                    idle_timeout=args.idle_timeout,
+                    codec=args.codec,
+                )
+                for shard_index in range(args.shards)
+            ]
+        else:
+            transports = [
+                AsyncioTransport(
+                    idle_timeout=args.idle_timeout, codec=args.codec
+                )
+                for _ in range(args.shards)
+            ]
+    service = ShardedKVService(config, transports=transports)
+    try:
+        scenarios = _loadgen_scenarios(args, service, procs, ports_by_server)
+        report = run_loadgen(
+            service,
+            clock=time.perf_counter,
+            sleep=time.sleep,
+            rate=args.rate,
+            duration=args.duration,
+            sessions=args.sessions,
+            keys=args.keys,
+            zipf_s=args.zipf,
+            read_fraction=args.read_fraction,
+            seed=args.seed if args.seed is not None else 0,
+            scenarios=scenarios,
+            drain_timeout=args.drain_timeout,
+        )
+    finally:
+        service.close()
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait()
+    report["transport"] = args.transport
+    report["codec"] = args.codec if args.transport != "sim" else None
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+    print(
+        f"loadgen: {report['completed_ops']}/{report['offered_ops']} ops"
+        f" ({report['throughput_ops_s']} ops/s),"
+        f" p50={report['latency_ms']['p50']}ms"
+        f" p99={report['latency_ms']['p99']}ms,"
+        f" audit {report['audit']['ok']}/{report['audit']['keys']} ok",
+        file=sys.stderr,
+    )
+    ok = (
+        report["audit"]["all_ok"]
+        and report["sustained_fraction"] >= args.min_sustained
+    )
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -618,16 +911,181 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire codec to speak; must match the cluster's --codec"
         " (default: json)",
     )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="serve one node of an S-shard KV service instead of a"
+        " single-fleet algorithm layout (one listener per shard;"
+        " pairs with `repro loadgen`)",
+    )
+    p_serve.add_argument(
+        "--substrate",
+        default="max-register",
+        choices=("register", "max-register", "cas"),
+        help="shard substrate for --shards mode (default: max-register)",
+    )
+    p_serve.add_argument(
+        "--capacity",
+        type=int,
+        default=8,
+        metavar="SLOTS",
+        help="register slots per shard in --shards mode (default: 8)",
+    )
+    p_serve.add_argument(
+        "--ports",
+        default=None,
+        metavar="P0,P1,...",
+        help="pin the per-shard listener ports in --shards mode (used"
+        " when restarting a node on the ports its clients redial)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Zipfian load against a sharded KV service",
+    )
+    p_loadgen.add_argument(
+        "--shards", type=int, default=3, help="shard count (default: 3)"
+    )
+    p_loadgen.add_argument(
+        "--substrate",
+        default="max-register",
+        choices=("register", "max-register", "cas"),
+        help="shard substrate (default: max-register)",
+    )
+    p_loadgen.add_argument("-k", type=int, default=None, help="writer bound")
+    p_loadgen.add_argument(
+        "-n", type=int, default=None, help="servers per shard (default: 3)"
+    )
+    p_loadgen.add_argument(
+        "-f", type=int, default=None, help="failure threshold (default: 1)"
+    )
+    p_loadgen.add_argument(
+        "--capacity",
+        type=int,
+        default=32,
+        help="register slots per shard (default: 32)",
+    )
+    p_loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="offered arrival rate, ops/s (default: 500)",
+    )
+    p_loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="traffic window, seconds (default: 5)",
+    )
+    p_loadgen.add_argument(
+        "--sessions",
+        type=int,
+        default=1000,
+        help="concurrent client sessions (default: 1000)",
+    )
+    p_loadgen.add_argument(
+        "--keys",
+        type=int,
+        default=64,
+        help="key universe size (default: 64; keep <= shards*capacity)",
+    )
+    p_loadgen.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        help="Zipf popularity exponent (default: 1.1)",
+    )
+    p_loadgen.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.7,
+        help="fraction of operations that are reads (default: 0.7)",
+    )
+    p_loadgen.add_argument(
+        "--transport",
+        default="sim",
+        choices=("sim", "asyncio", "spawn"),
+        help="sim: in-process kernels; asyncio: self-hosted localhost"
+        " sockets; spawn: real `repro serve` subprocesses, one per"
+        " server (default: sim)",
+    )
+    p_loadgen.add_argument(
+        "--codec",
+        default="json",
+        choices=("json", "binary"),
+        help="wire codec for socket transports (default: json)",
+    )
+    p_loadgen.add_argument(
+        "--scenario",
+        default="none",
+        choices=("none", "gauntlet"),
+        help="gauntlet: partition+heal then replica crash+restart"
+        " mid-traffic (default: none)",
+    )
+    p_loadgen.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.02,
+        help="socket-transport idle wait per step, seconds (default: 0.02)",
+    )
+    p_loadgen.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=15.0,
+        help="post-traffic completion drain bound, seconds (default: 15)",
+    )
+    p_loadgen.add_argument(
+        "--min-sustained",
+        type=float,
+        default=0.99,
+        help="fail (exit 1) if completed/offered falls below this"
+        " (default: 0.99)",
+    )
+    p_loadgen.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here instead of stdout",
+    )
+    _add_seed(p_loadgen, default=0)
+    p_loadgen.set_defaults(fn=cmd_loadgen)
 
     return parser
 
 
+def exit_code_for(error) -> int:
+    """Distinct exit code per typed failure (see :mod:`repro.errors`).
+
+    Scripts driving ``repro cluster``/``serve``/``loadgen`` can branch
+    on the class of failure without parsing stderr.
+    """
+    from repro import errors
+
+    for error_class, code in (
+        (errors.WriterBoundExceeded, 3),
+        (errors.QuorumUnavailable, 4),
+        (errors.StaleShardMap, 5),
+        (errors.ShardCapacityExceeded, 6),
+        (errors.WireDecodeError, 7),
+    ):
+        if isinstance(error, error_class):
+            return code
+    return 2
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return exit_code_for(error)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

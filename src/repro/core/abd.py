@@ -23,7 +23,7 @@ The number of writers is unbounded (no dependence on ``k``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.sim.client import ClientProtocol, Context
 from repro.sim.history import History
@@ -45,12 +45,28 @@ class ABDClient(ClientProtocol):
         writer_id: int,
         initial_value: Any = None,
         write_back: bool = True,
+        object_ids: "Optional[Sequence[ObjectId]]" = None,
     ):
         self.n = n
         self.f = f
         self.writer_id = writer_id
         self.initial_value = initial_value
         self.write_back = write_back
+        # Which object lives on server i.  The default identity placement
+        # serves single-register deployments; multi-register fleets (one
+        # kernel hosting many ABD instances) pass each instance its own
+        # slice of the shared object-id space.
+        if object_ids is None:
+            self.object_ids: "List[ObjectId]" = [
+                ObjectId(i) for i in range(n)
+            ]
+        else:
+            if len(object_ids) != n:
+                raise ValueError(
+                    f"need one object per server: got {len(object_ids)}"
+                    f" ids for n={n}"
+                )
+            self.object_ids = list(object_ids)
         self._results: "Dict[OpId, Any]" = {}
 
     # -- quorum round ------------------------------------------------------
@@ -58,7 +74,7 @@ class ABDClient(ClientProtocol):
     def _quorum(self, ctx: Context, kind: OpKind, args: tuple):
         """Trigger ``kind(args)`` on every server's object, await n-f."""
         ops = [
-            ctx.trigger(ObjectId(i), kind, *args) for i in range(self.n)
+            ctx.trigger(oid, kind, *args) for oid in self.object_ids
         ]
         needed = self.n - self.f
         yield lambda: sum(

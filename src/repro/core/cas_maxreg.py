@@ -21,7 +21,7 @@ the composition giving the CAS row of Table 1 (2f+1 CAS objects).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.sim.client import ClientProtocol, Context, TaskHandle
 from repro.sim.history import History
@@ -165,12 +165,26 @@ class CASABDClient(ClientProtocol):
         writer_id: int,
         initial_value: Any = None,
         write_back: bool = True,
+        object_ids: "Optional[Sequence[ObjectId]]" = None,
     ):
         self.n = n
         self.f = f
         self.writer_id = writer_id
         self.v0 = bottom_tsval(initial_value)
         self.write_back = write_back
+        # Identity placement by default; multi-register fleets pass the
+        # instance's slice of the shared object-id space (see ABDClient).
+        if object_ids is None:
+            self.object_ids: "List[ObjectId]" = [
+                ObjectId(i) for i in range(n)
+            ]
+        else:
+            if len(object_ids) != n:
+                raise ValueError(
+                    f"need one object per server: got {len(object_ids)}"
+                    f" ids for n={n}"
+                )
+            self.object_ids = list(object_ids)
         self.ops = _CASOps()
 
     @property
@@ -185,7 +199,7 @@ class CASABDClient(ClientProtocol):
         results: "List[TSVal]" = []
 
         def server_task(server_index: int):
-            obj = ObjectId(server_index)
+            obj = self.object_ids[server_index]
             if write_value is None:
                 value = yield from self.ops.read_max(ctx, obj, self.v0)
                 results.append(value)

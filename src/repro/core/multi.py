@@ -92,6 +92,12 @@ class _FilteredHistory(History):
             super().on_return(event)
 
 
+#: Public alias: per-client-set filtered histories are the building block
+#: of any multi-register deployment (each register audits only its own
+#: clients' operations).  Used by :mod:`repro.apps.shard`.
+FilteredHistory = _FilteredHistory
+
+
 class _RegisterView:
     """One register of the deployment, with the emulation interface the
     workload runner and checkers expect (kernel / object_map / history /

@@ -1,0 +1,61 @@
+"""Typed error hierarchy for the service-facing layers.
+
+Every failure the KV/service/net paths can signal derives from
+:class:`ReproError`, so callers can catch one root and branch on type,
+and the CLI can map each failure class to a distinct exit code
+(see :func:`repro.cli.exit_code_for`).
+
+Each concrete error *also* subclasses the builtin its call site
+historically raised (``ValueError`` for caller mistakes,
+``RuntimeError`` for environmental failures), so pre-existing
+``except ValueError`` / ``except RuntimeError`` handlers — inside and
+outside this repo — keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every typed failure raised by repro's service layers."""
+
+
+class WriterBoundExceeded(ReproError, ValueError):
+    """A write used a writer identity outside the provisioned bound.
+
+    The register substrate provisions ``k`` writers per register
+    (Table 1's ``kf + ceil(k/z)(f+1)`` economics are *per writer*);
+    naming writer ``i >= k`` is a caller error, not a transient fault.
+    """
+
+
+class QuorumUnavailable(ReproError, RuntimeError):
+    """An operation could not reach its quorum and did not complete.
+
+    Raised when driving the simulation to quiescence stalls — more than
+    ``f`` servers are crashed or unreachable, or the transport cannot
+    deliver enough responses for the protocol to return.
+    """
+
+
+class StaleShardMap(ReproError, RuntimeError):
+    """A session holds an outdated shard map.
+
+    The sharded service versions its key→shard placement; a session
+    opened against version ``v`` that performs an operation after the
+    service moved to ``v' > v`` is told to refresh instead of being
+    silently routed by a stale map.
+    """
+
+
+class ShardCapacityExceeded(ReproError, RuntimeError):
+    """A shard's pre-provisioned register slots are all assigned.
+
+    Shards provision a fixed number of emulated registers up front
+    (remote replica processes are built from a static placement
+    snapshot); a new key arriving at a full shard cannot be placed.
+    """
+
+
+class WireDecodeError(ReproError, ValueError):
+    """A wire frame failed to decode (truncation, trailing bytes,
+    unknown tags, malformed payloads)."""

@@ -169,8 +169,24 @@ class AsyncioTransport(Transport):
         self._arrived: "Set[int]" = set()
         self._inflight: "Set[int]" = set()
         self._writers: "Dict[int, asyncio.StreamWriter]" = {}
-        self._asyncio_servers: "List[Any]" = []
+        self._asyncio_servers: "Dict[int, Any]" = {}
         self._started = False
+        self._closing = False
+        #: where each server lives, learned at _open; reconnects dial these.
+        self._endpoints: "Dict[int, Tuple[str, int]]" = {}
+        #: server indices whose connection is currently down (EOF, refused).
+        self._down: "Set[int]" = set()
+        #: server indices being blackholed (partition injection): request
+        #: frames to them are silently dropped, so no response ever comes
+        #: back — the protocol sees an unresponsive server, which is
+        #: exactly what a network partition looks like from one side.
+        self._blackhole: "frozenset[int]" = frozenset()
+        #: frames dropped on down or blackholed links (diagnostics).
+        self.dropped_frames = 0
+        #: crashed self-hosted replicas (crash_replica/restart_replica).
+        self._crashed_replicas: "Set[int]" = set()
+        #: server indices with a live redial loop (at most one per link).
+        self._redialing: "Set[int]" = set()
         #: frames queued per server index since the last loop flush.
         self._outbox: "Dict[int, List[bytes]]" = {}
         self._outbox_lock = threading.Lock()
@@ -207,6 +223,7 @@ class AsyncioTransport(Transport):
             ) from self._startup_error
 
     def close(self) -> None:
+        self._closing = True
         loop, thread = self._loop, self._thread
         if loop is not None and thread is not None and thread.is_alive():
             loop.call_soon_threadsafe(loop.stop)
@@ -251,22 +268,150 @@ class AsyncioTransport(Transport):
                 server = await asyncio.start_server(
                     replica_server.handle, self.host, 0
                 )
-                self._asyncio_servers.append(server)
+                self._asyncio_servers[server_index] = server
                 port = server.sockets[0].getsockname()[1]
                 self.ports[server_index] = port
                 endpoints.append((server_index, self.host, port))
         for server_index, host, port in endpoints:
+            self._endpoints[server_index] = (host, port)
             reader, writer = await asyncio.open_connection(host, port)
             self._writers[server_index] = writer
-            asyncio.ensure_future(self._read_responses(reader))
+            asyncio.ensure_future(self._read_responses(server_index, reader))
 
-    async def _read_responses(self, reader) -> None:
+    async def _read_responses(self, server_index: int, reader) -> None:
         codec = self.codec
-        while True:
-            frame = await codec.read_frame(reader)
-            if frame is None:
-                break
-            self._completions.put(codec.decode_response(frame))
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    break
+                self._completions.put(codec.decode_response(frame))
+        except (ConnectionError, OSError, ValueError):
+            pass
+        self._link_down(server_index)
+
+    # -- link supervision ----------------------------------------------------
+
+    def _link_down(self, server_index: int) -> None:
+        """The connection to ``server_index`` broke: mark it down and keep
+        redialing (bounded backoff) until it answers or we shut down.
+
+        Runs on the event-loop thread.  While the link is down, frames to
+        the server are dropped — the quorum protocols tolerate exactly
+        this (an unresponsive server), so the run keeps making progress
+        on the surviving replicas and catches up when the link heals.
+        """
+        if self._closing or server_index in self._down:
+            return
+        self._down.add(server_index)
+        writer = self._writers.get(server_index)
+        if writer is not None:
+            writer.close()
+        if server_index not in self._redialing:
+            self._redialing.add(server_index)
+            asyncio.ensure_future(self._redial(server_index))
+
+    async def _redial(self, server_index: int) -> None:
+        host, port = self._endpoints[server_index]
+        backoff = 0.05
+        try:
+            while not self._closing:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
+                if self._closing:
+                    return
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                except (ConnectionError, OSError):
+                    continue
+                self._writers[server_index] = writer
+                self._down.discard(server_index)
+                asyncio.ensure_future(
+                    self._read_responses(server_index, reader)
+                )
+                return
+        finally:
+            self._redialing.discard(server_index)
+
+    def set_blackhole(self, server_indices) -> None:
+        """Partition injection: drop every frame to these servers.
+
+        From the protocol's point of view a blackholed server is
+        unresponsive; operations routed to it stay pending (they are
+        covering, per the model) while quorums complete on the rest.
+        ``set_blackhole(())`` heals the partition.
+        """
+        self._blackhole = frozenset(server_indices)
+
+    def heal(self) -> None:
+        """Clear any injected partition."""
+        self._blackhole = frozenset()
+
+    # -- self-hosted replica crash/restart ----------------------------------
+
+    def crash_replica(self, server_index: int) -> None:
+        """Kill a self-hosted replica: close its listener and connection.
+
+        Self-hosted mode only.  The replica's object state is *retained*
+        (its :class:`ReplicaServer` survives) — :meth:`restart_replica`
+        models a crash-recover server with stable storage coming back on
+        the same port.
+        """
+        if self.addresses:
+            raise RuntimeError(
+                "crash_replica controls self-hosted replicas; external"
+                " `repro serve` processes are crashed by killing them"
+            )
+        if server_index in self._crashed_replicas:
+            return
+        self._crashed_replicas.add(server_index)
+
+        async def _down() -> None:
+            server = self._asyncio_servers.pop(server_index, None)
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            # Dropping the listener does not drop the established
+            # connection; close it too so in-flight requests fail like a
+            # real process death, not a graceful drain.
+            writer = self._writers.get(server_index)
+            if writer is not None:
+                writer.close()
+            self._down.add(server_index)
+
+        asyncio.run_coroutine_threadsafe(_down(), self._loop).result(
+            self.startup_timeout
+        )
+
+    def restart_replica(self, server_index: int) -> None:
+        """Bring a crashed self-hosted replica back on its old port.
+
+        The replica re-serves from its retained state (stable storage);
+        the supervision loop re-establishes the connection and the
+        transport resumes routing to it.
+        """
+        if server_index not in self._crashed_replicas:
+            raise RuntimeError(f"replica {server_index} is not crashed")
+
+        async def _up() -> None:
+            replica_server = self.servers[server_index]
+            server = await asyncio.start_server(
+                replica_server.handle,
+                self.host,
+                self.ports[server_index],
+            )
+            self._asyncio_servers[server_index] = server
+            if (
+                server_index in self._down
+                and server_index not in self._redialing
+            ):
+                self._redialing.add(server_index)
+                asyncio.ensure_future(self._redial(server_index))
+
+        asyncio.run_coroutine_threadsafe(_up(), self._loop).result(
+            self.startup_timeout
+        )
+        self._crashed_replicas.discard(server_index)
 
     async def _shutdown(self) -> None:
         # Closing the client-side connections first lets every suspended
@@ -281,7 +426,7 @@ class AsyncioTransport(Transport):
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-        for server in self._asyncio_servers:
+        for server in self._asyncio_servers.values():
             server.close()
             await server.wait_closed()
         tasks = [
@@ -298,15 +443,26 @@ class AsyncioTransport(Transport):
     def _flush_outbox(self) -> None:
         # runs on the event-loop thread: ship everything queued since the
         # last flush, one write per connection regardless of how many
-        # requests the kernel triggered in between.
+        # requests the kernel triggered in between.  Frames to down or
+        # blackholed servers are dropped, never buffered: replaying stale
+        # requests after a heal would reorder the request leg, and the
+        # quorum protocols neither need nor expect retransmission.
         with self._outbox_lock:
             outbox, self._outbox = self._outbox, {}
             self._flush_scheduled = False
         writers = self._writers
+        blackhole = self._blackhole
         for server_index, frames in outbox.items():
-            writers[server_index].write(
-                frames[0] if len(frames) == 1 else b"".join(frames)
-            )
+            if server_index in self._down or server_index in blackhole:
+                self.dropped_frames += len(frames)
+                continue
+            try:
+                writers[server_index].write(
+                    frames[0] if len(frames) == 1 else b"".join(frames)
+                )
+            except (ConnectionError, OSError):
+                self.dropped_frames += len(frames)
+                self._link_down(server_index)
 
     # -- transport interface -----------------------------------------------
 
@@ -388,6 +544,7 @@ class AsyncioTransport(Transport):
             "ports": dict(self.ports),
             "addresses": list(self.addresses),
             "codec": self.codec.name,
+            "dropped_frames": self.dropped_frames,
         }
 
 
@@ -408,5 +565,45 @@ def run_replica_server(
         announce(f"serving s{server_index} on {bound[0]}:{bound[1]}")
         async with server:
             await server.serve_forever()
+
+    asyncio.run(_serve())
+
+
+def run_shard_servers(
+    server_index: int,
+    shard_replicas: "Dict[int, List[ReplicaSpec]]",
+    host: str = "127.0.0.1",
+    ports: "Optional[Dict[int, int]]" = None,
+    announce=print,
+    codec: Any = "json",
+) -> None:
+    """Host sim server ``server_index`` of *every* shard in one process.
+
+    A sharded service is S independent fleets; a physical node hosts its
+    replica of each fleet.  Each shard gets its own listener (shards are
+    independent quorum systems — one socket per shard keeps their request
+    streams isolated), announced as ``serving s<i>/shard<j> on h:p`` so a
+    supervisor can collect the per-shard address lists.  ``ports`` pins
+    each shard's listener port — a restarted process must come back on
+    the ports its clients' reconnect loops are dialling.
+    """
+
+    async def _serve() -> None:
+        servers = []
+        for shard_index in sorted(shard_replicas):
+            replica_server = ReplicaServer(
+                server_index, shard_replicas[shard_index], codec=codec
+            )
+            port = ports.get(shard_index, 0) if ports else 0
+            server = await asyncio.start_server(
+                replica_server.handle, host, port
+            )
+            bound = server.sockets[0].getsockname()
+            announce(
+                f"serving s{server_index}/shard{shard_index}"
+                f" on {bound[0]}:{bound[1]}"
+            )
+            servers.append(server)
+        await asyncio.gather(*(s.serve_forever() for s in servers))
 
     asyncio.run(_serve())

@@ -42,6 +42,7 @@ import json
 import struct
 from typing import Any, Dict, Optional, Tuple
 
+from repro.errors import WireDecodeError
 from repro.sim.ids import ClientId, ObjectId, OpId
 from repro.sim.objects import LowLevelOp, OpKind
 from repro.sim.values import TSVal
@@ -101,15 +102,18 @@ def decode_request(line: bytes) -> "LowLevelOp":
     ``trigger_time`` is not meaningful across the wire and is set to 0;
     the authoritative timing lives in the client-side kernel.
     """
-    frame = json.loads(line.decode("utf-8"))
-    return LowLevelOp(
-        op_id=OpId(frame["op"]),
-        client_id=ClientId(frame["client"]),
-        object_id=ObjectId(frame["object"]),
-        kind=OpKind(frame["kind"]),
-        args=tuple(decode_value(frame["args"])),
-        trigger_time=0,
-    )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+        return LowLevelOp(
+            op_id=OpId(frame["op"]),
+            client_id=ClientId(frame["client"]),
+            object_id=ObjectId(frame["object"]),
+            kind=OpKind(frame["kind"]),
+            args=tuple(decode_value(frame["args"])),
+            trigger_time=0,
+        )
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+        raise WireDecodeError(f"malformed request frame: {error}") from error
 
 
 def encode_response(op_value: int, result: Any) -> bytes:
@@ -118,8 +122,11 @@ def encode_response(op_value: int, result: Any) -> bytes:
 
 
 def decode_response(line: bytes) -> "Dict[str, Any]":
-    frame = json.loads(line.decode("utf-8"))
-    return {"op": frame["op"], "result": decode_value(frame["result"])}
+    try:
+        frame = json.loads(line.decode("utf-8"))
+        return {"op": frame["op"], "result": decode_value(frame["result"])}
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+        raise WireDecodeError(f"malformed response frame: {error}") from error
 
 
 # -- binary codec ------------------------------------------------------------
@@ -182,7 +189,7 @@ def _unpack_varint(buf: bytes, pos: int) -> "Tuple[int, int]":
     shift = 0
     while True:
         if pos >= len(buf):
-            raise ValueError("truncated varint on the wire")
+            raise WireDecodeError("truncated varint on the wire")
         byte = buf[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -250,7 +257,7 @@ def _pack_value(value: Any, out: bytearray) -> None:
 
 def _unpack_value(buf: bytes, pos: int) -> "Tuple[Any, int]":
     if pos >= len(buf):
-        raise ValueError("truncated value on the wire")
+        raise WireDecodeError("truncated value on the wire")
     tag = buf[pos]
     pos += 1
     if tag == _T_NONE:
@@ -265,13 +272,13 @@ def _unpack_value(buf: bytes, pos: int) -> "Tuple[Any, int]":
     if tag == _T_FLOAT:
         end = pos + 8
         if end > len(buf):
-            raise ValueError("truncated float on the wire")
+            raise WireDecodeError("truncated float on the wire")
         return _F64_STRUCT.unpack_from(buf, pos)[0], end
     if tag == _T_STR or tag == _T_BYTES:
         length, pos = _unpack_varint(buf, pos)
         end = pos + length
         if end > len(buf):
-            raise ValueError("truncated string on the wire")
+            raise WireDecodeError("truncated string on the wire")
         raw = bytes(buf[pos:end])
         return (raw.decode("utf-8") if tag == _T_STR else raw), end
     if tag == _T_LIST or tag == _T_TUPLE:
@@ -288,7 +295,7 @@ def _unpack_value(buf: bytes, pos: int) -> "Tuple[Any, int]":
             length, pos = _unpack_varint(buf, pos)
             end = pos + length
             if end > len(buf):
-                raise ValueError("truncated dict key on the wire")
+                raise WireDecodeError("truncated dict key on the wire")
             key = bytes(buf[pos:end]).decode("utf-8")
             item, pos = _unpack_value(buf, end)
             result[key] = item
@@ -298,7 +305,7 @@ def _unpack_value(buf: bytes, pos: int) -> "Tuple[Any, int]":
         wid, pos = _unpack_value(buf, pos)
         val, pos = _unpack_value(buf, pos)
         return TSVal(ts=ts, wid=wid, val=val), pos
-    raise ValueError(f"unknown wire tag 0x{tag:02x}")
+    raise WireDecodeError(f"unknown wire tag 0x{tag:02x}")
 
 
 def _frame(payload: bytearray) -> bytes:
@@ -323,20 +330,20 @@ def encode_binary_request(op: "LowLevelOp") -> bytes:
 def decode_binary_request(payload: bytes) -> "LowLevelOp":
     """Rebuild the operation on the server side (binary framing)."""
     if not payload or payload[0] != _FRAME_REQUEST:
-        raise ValueError("not a binary request frame")
+        raise WireDecodeError("not a binary request frame")
     op_value, pos = _unpack_varint(payload, 1)
     client_index, pos = _unpack_varint(payload, pos)
     object_index, pos = _unpack_varint(payload, pos)
     if pos >= len(payload):
-        raise ValueError("truncated request frame on the wire")
+        raise WireDecodeError("truncated request frame on the wire")
     kind = _CODE_TO_KIND.get(payload[pos])
     if kind is None:
-        raise ValueError(f"unknown op-kind code {payload[pos]}")
+        raise WireDecodeError(f"unknown op-kind code {payload[pos]}")
     args, pos = _unpack_value(payload, pos + 1)
     if pos != len(payload):
-        raise ValueError(f"{len(payload) - pos} trailing bytes in frame")
+        raise WireDecodeError(f"{len(payload) - pos} trailing bytes in frame")
     if not isinstance(args, tuple):
-        raise ValueError("request args must decode as a tuple")
+        raise WireDecodeError("request args must decode as a tuple")
     return LowLevelOp(
         op_id=OpId(op_value),
         client_id=ClientId(client_index),
@@ -356,11 +363,11 @@ def encode_binary_response(op_value: int, result: Any) -> bytes:
 
 def decode_binary_response(payload: bytes) -> "Dict[str, Any]":
     if not payload or payload[0] != _FRAME_RESPONSE:
-        raise ValueError("not a binary response frame")
+        raise WireDecodeError("not a binary response frame")
     op_value, pos = _unpack_varint(payload, 1)
     result, pos = _unpack_value(payload, pos)
     if pos != len(payload):
-        raise ValueError(f"{len(payload) - pos} trailing bytes in frame")
+        raise WireDecodeError(f"{len(payload) - pos} trailing bytes in frame")
     return {"op": op_value, "result": result}
 
 

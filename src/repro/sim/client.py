@@ -193,6 +193,8 @@ class ClientRuntime:
         "active_name",
         "pending_ops",
         "duplicate_responses",
+        "active_token",
+        "on_complete",
         "_kernel",
         "_poll_dirty",
         "_poll_cache",
@@ -205,8 +207,9 @@ class ClientRuntime:
         self.protocol = protocol
         self.context = Context(self)
         self.crashed = False
-        #: queue of (name, args) high-level invocations not yet started
-        self.program: "Deque[Tuple[str, tuple]]" = deque()
+        #: queue of (name, args, token) high-level invocations not yet
+        #: started; token is an opaque caller tag carried to completion
+        self.program: "Deque[Tuple[str, tuple, Any]]" = deque()
         #: active coroutines; index 0 is the main (high-level op) task
         self.tasks: "List[_Task]" = []
         #: sequence number of the in-flight high-level op, if any
@@ -216,6 +219,13 @@ class ClientRuntime:
         self.pending_ops: "set[OpId]" = set()
         #: duplicate response deliveries dropped (lossy transports only)
         self.duplicate_responses = 0
+        #: token of the in-flight high-level op (session bookkeeping)
+        self.active_token: Any = None
+        #: optional completion callback ``(token, name, result) -> None``
+        #: invoked on every high-level return — lets a service multiplex
+        #: thousands of sessions over a client pool without scanning the
+        #: history for their results
+        self.on_complete: Optional[Callable[[Any, str, Any], None]] = None
         # wired by the kernel at registration:
         self._kernel = None
         # Incremental-scheduler poll state: the cached result of the last
@@ -239,9 +249,13 @@ class ClientRuntime:
 
     # -- program -----------------------------------------------------------
 
-    def enqueue(self, name: str, *args: Any) -> None:
-        """Schedule a high-level operation invocation."""
-        self.program.append((name, tuple(args)))
+    def enqueue(self, name: str, *args: Any, token: Any = None) -> None:
+        """Schedule a high-level operation invocation.
+
+        ``token`` is an opaque tag returned to :attr:`on_complete` when
+        the operation finishes; the kernel never interprets it.
+        """
+        self.program.append((name, tuple(args), token))
         if self._kernel is not None:
             self._kernel._refresh_client(self.client_id)
 
@@ -315,10 +329,11 @@ class ClientRuntime:
         raise RuntimeError(f"no runnable task on {self.client_id}")
 
     def _start_next_operation(self) -> None:
-        name, args = self.program.popleft()
+        name, args, token = self.program.popleft()
         seq = self._kernel.record_invoke(self.client_id, name, args)
         self.active_seq = seq
         self.active_name = name
+        self.active_token = token
         coroutine = self.protocol.make_operation(self.context, name, args)
         handle = TaskHandle(name=f"{name}#{seq}")
         task = _Task(coroutine, handle)
@@ -354,10 +369,14 @@ class ClientRuntime:
         if self.tasks and task is self.tasks[0]:
             # Main task: the high-level operation returns.
             seq, name = self.active_seq, self.active_name
+            token = self.active_token
             self.active_seq = None
             self.active_name = None
+            self.active_token = None
             self.tasks = []
             self._kernel.record_return(self.client_id, seq, name, result)
+            if self.on_complete is not None:
+                self.on_complete(token, name, result)
         else:
             self.tasks = [t for t in self.tasks if t is not task]
 

@@ -12,6 +12,7 @@ register consistency checkers rely on.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import List, Tuple
@@ -165,3 +166,40 @@ def read_heavy_workload(
         rounds=rounds,
         description=f"read-heavy k={k} writes={n_writes}",
     )
+
+
+class ZipfKeys:
+    """Seeded Zipfian sampler over a fixed key universe.
+
+    Key ``i`` (0-based popularity rank) is drawn with probability
+    proportional to ``1 / (i + 1) ** s`` — the skewed popularity profile
+    KV traffic is conventionally modelled with (a few hot keys take most
+    of the traffic; ``s`` around 1 matches the classic YCSB-style
+    distributions).  Sampling inverts the precomputed CDF with a binary
+    search, so a draw is O(log universe).
+    """
+
+    def __init__(self, universe: int, s: float = 1.1, seed: int = 0):
+        if universe <= 0:
+            raise ValueError("need at least one key")
+        if s < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.universe = universe
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** s for rank in range(universe)]
+        total = sum(weights)
+        self._cdf: "List[float]" = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float round-down
+
+    def sample(self) -> int:
+        """Draw a key rank (0 = most popular)."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def key(self, prefix: str = "key") -> str:
+        """Draw a key name, ``<prefix>-<rank>``."""
+        return f"{prefix}-{self.sample()}"

@@ -30,15 +30,15 @@ class TestConfig:
 class TestBasicOperations:
     def test_put_get(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("alpha", 1)
-        store.put("beta", "two", writer_index=1)
+        store.session().put("alpha", 1)
+        store.session(writer=1).put("beta", "two")
         assert store.get("alpha") == 1
         assert store.get("beta") == "two"
 
     def test_overwrite(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("key", "old")
-        store.put("key", "new", writer_index=1)
+        store.session().put("key", "old")
+        store.session(writer=1).put("key", "new")
         assert store.get("key") == "new"
 
     def test_missing_key_default(self, substrate):
@@ -48,14 +48,14 @@ class TestBasicOperations:
 
     def test_keys_listing(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2)
-        store.put("b", 2)
-        store.put("a", 1)
+        store.session().put("b", 2)
+        store.session().put("a", 1)
         assert store.keys() == ["a", "b"]
 
     def test_audit_clean(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
         for i in range(3):
-            store.put("key", f"v{i}", writer_index=i % 2)
+            store.session(writer=i % 2).put("key", f"v{i}")
             store.get("key")
         assert all(store.audit().values())
 
@@ -69,7 +69,7 @@ class TestSpaceAccounting:
             store = ReplicatedKVStore(
                 substrate=substrate, n=n, f=f, k_writers=k
             )
-            store.put("x", 1)
+            store.session().put("x", 1)
             budgets[substrate] = store.base_objects_per_key()["x"]
         assert budgets["max-register"] == 2 * f + 1
         assert budgets["cas"] == 2 * f + 1
@@ -77,15 +77,15 @@ class TestSpaceAccounting:
 
     def test_total_base_objects(self):
         store = ReplicatedKVStore(substrate="max-register", n=5, f=2)
-        store.put("a", 1)
-        store.put("b", 2)
+        store.session().put("a", 1)
+        store.session().put("b", 2)
         assert store.base_objects == 10
 
     def test_snapshot(self):
         store = ReplicatedKVStore(substrate="max-register", n=5, f=2)
-        store.put("a", 1)
-        store.put("b", 2)
-        store.put("a", 3)
+        store.session().put("a", 1)
+        store.session().put("b", 2)
+        store.session().put("a", 3)
         assert store.snapshot() == {"a": 3, "b": 2}
 
     def test_snapshot_empty_store(self):
@@ -97,28 +97,28 @@ class TestSpaceAccounting:
 class TestDelete:
     def test_delete_then_get_default(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("key", "value")
-        store.delete("key", writer_index=1)
+        store.session().put("key", "value")
+        store.session(writer=1).delete("key")
         assert store.get("key") is None
         assert store.get("key", default="gone") == "gone"
 
     def test_delete_unknown_key_noop(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2)
-        store.delete("ghost")
+        store.session().delete("ghost")
         assert store.keys() == []
 
     def test_rewrite_after_delete(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("key", "v1")
-        store.delete("key")
-        store.put("key", "v2", writer_index=1)
+        store.session().put("key", "v1")
+        store.session().delete("key")
+        store.session(writer=1).put("key", "v2")
         assert store.get("key") == "v2"
 
     def test_snapshot_omits_deleted(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("keep", 1)
-        store.put("drop", 2, writer_index=1)
-        store.delete("drop")
+        store.session().put("keep", 1)
+        store.session(writer=1).put("drop", 2)
+        store.session().delete("drop")
         assert store.snapshot() == {"keep": 1}
         assert all(store.audit().values())
 
@@ -127,18 +127,18 @@ class TestFaultTolerance:
     @pytest.mark.parametrize("substrate", ["register", "max-register", "cas"])
     def test_survives_f_crashes(self, substrate):
         store = ReplicatedKVStore(substrate=substrate, n=5, f=2, k_writers=2)
-        store.put("key", "before")
+        store.session().put("key", "before")
         store.crash_server(0)
         store.crash_server(3)
         assert store.get("key") == "before"
-        store.put("key", "after", writer_index=1)
+        store.session(writer=1).put("key", "after")
         assert store.get("key") == "after"
         assert all(store.audit().values())
 
     def test_writer_index_validated(self):
         store = ReplicatedKVStore(substrate="register", n=5, f=2, k_writers=2)
         with pytest.raises(ValueError):
-            store.put("key", 1, writer_index=5)
+            store.session(writer=5).put("key", 1)
 
     def test_crash_index_validated(self):
         store = ReplicatedKVStore(substrate="register", n=5, f=2)

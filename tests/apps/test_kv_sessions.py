@@ -1,0 +1,215 @@
+"""The session API of :class:`repro.apps.kv.ReplicatedKVStore`.
+
+Covers the redesigned client surface: session lifecycle, concurrent
+sessions on one store, writer-bound enforcement, read-only sessions,
+the deprecated ``writer_index`` shim, and :class:`KVConfig`'s eager
+validation / cache-key duties.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.apps.kv import KVConfig, KVSession, ReplicatedKVStore
+from repro.errors import (
+    QuorumUnavailable,
+    ReproError,
+    ShardCapacityExceeded,
+    WriterBoundExceeded,
+)
+
+
+class TestSessionLifecycle:
+    def test_session_put_get_delete(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("alpha", 1)
+            assert s.get("alpha") == 1
+            s.delete("alpha")
+            assert s.get("alpha") is None
+            assert s.get("alpha", default="gone") == "gone"
+
+    def test_session_is_context_manager(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session() as s:
+            assert isinstance(s, KVSession)
+            assert not s.closed
+        assert s.closed
+
+    def test_closed_session_refuses_operations(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        s = store.session(writer=0)
+        s.put("alpha", 1)
+        s.close()
+        with pytest.raises(RuntimeError):
+            s.put("alpha", 2)
+        with pytest.raises(RuntimeError):
+            s.get("alpha")
+        with pytest.raises(RuntimeError):
+            s.delete("alpha")
+        with pytest.raises(RuntimeError):
+            s.scan()
+
+    def test_scan_filters_by_prefix(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("user:1", "ada")
+            s.put("user:2", "grace")
+            s.put("cart:9", ["book"])
+            assert s.scan("user:") == {"user:1": "ada", "user:2": "grace"}
+            assert set(s.scan()) == {"user:1", "user:2", "cart:9"}
+
+
+class TestConcurrentSessions:
+    def test_many_sessions_one_store(self):
+        store = ReplicatedKVStore(substrate="register", n=3, f=1, k_writers=4)
+        sessions = [store.session(writer=i) for i in range(4)]
+        for i, s in enumerate(sessions):
+            s.put(f"key-{i}", f"v{i}")
+        # Sessions see each other's writes immediately.
+        with store.session() as reader:
+            for i in range(4):
+                assert reader.get(f"key-{i}") == f"v{i}"
+        for s in sessions:
+            s.close()
+
+    def test_interleaved_writers_same_key_audit(self):
+        store = ReplicatedKVStore(substrate="max-register", n=5, f=2)
+        a = store.session(writer=0)
+        b = store.session(writer=1)
+        for round_index in range(3):
+            a.put("shared", f"a{round_index}")
+            b.put("shared", f"b{round_index}")
+        assert store.get("shared") == "b2"
+        assert all(store.audit().values())
+
+
+class TestWriterBound:
+    def test_out_of_range_writer_rejected_at_open(self):
+        store = ReplicatedKVStore(substrate="register", n=3, f=1, k_writers=2)
+        with pytest.raises(WriterBoundExceeded):
+            store.session(writer=2)
+        with pytest.raises(WriterBoundExceeded):
+            store.session(writer=-1)
+
+    def test_bound_error_is_still_a_value_error(self):
+        store = ReplicatedKVStore(substrate="register", n=3, f=1, k_writers=2)
+        with pytest.raises(ValueError):
+            store.session(writer=99)
+
+    def test_read_only_session_cannot_write(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("alpha", 1)
+        with store.session(writer=None) as reader:
+            assert reader.get("alpha") == 1
+            with pytest.raises(WriterBoundExceeded):
+                reader.put("alpha", 2)
+            with pytest.raises(WriterBoundExceeded):
+                reader.delete("alpha")
+
+
+class TestDeprecatedShim:
+    def test_put_with_writer_index_warns_and_works(self):
+        store = ReplicatedKVStore(substrate="register", n=3, f=1, k_writers=3)
+        with pytest.warns(DeprecationWarning, match="session"):
+            store.put("alpha", 1, writer_index=2)
+        assert store.get("alpha") == 1
+
+    def test_delete_with_writer_index_warns_and_works(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("alpha", 1)
+        with pytest.warns(DeprecationWarning, match="session"):
+            store.delete("alpha")
+        assert store.get("alpha") is None
+
+    def test_session_path_does_not_warn(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with store.session(writer=0) as s:
+                s.put("alpha", 1)
+                s.delete("alpha")
+
+
+class TestQuorumFailureTyped:
+    def test_too_many_crashes_raises_quorum_unavailable(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("alpha", 1)
+            store.crash_server(0)
+            store.crash_server(1)  # beyond f: the quorum is gone
+            with pytest.raises(QuorumUnavailable):
+                s.put("alpha", 2)
+
+    def test_quorum_error_is_runtime_error_and_repro_error(self):
+        store = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+        with store.session(writer=0) as s:
+            s.put("alpha", 1)
+            store.crash_server(0)
+            store.crash_server(1)
+            with pytest.raises(RuntimeError):
+                s.get("alpha")
+            store2 = ReplicatedKVStore(substrate="max-register", n=3, f=1)
+            with store2.session(writer=0) as s2:
+                s2.put("alpha", 1)
+                store2.crash_server(0)
+                store2.crash_server(1)
+                with pytest.raises(ReproError):
+                    s2.get("alpha")
+
+
+class TestSharedFleetCapacityTyped:
+    def test_full_fleet_raises_shard_capacity(self):
+        config = KVConfig.make(
+            "register", n=3, f=1, k_writers=2, shared_fleet=True, max_keys=2
+        )
+        store = ReplicatedKVStore(config)
+        with store.session(writer=0) as s:
+            s.put("a", 1)
+            s.put("b", 2)
+            with pytest.raises(ShardCapacityExceeded):
+                s.put("c", 3)
+
+
+class TestKVConfig:
+    def test_make_classmethod(self):
+        config = KVConfig.make("cas", n=5, f=2)
+        assert config.substrate == "cas"
+        assert (config.n, config.f) == (5, 2)
+
+    def test_validation_is_eager(self):
+        with pytest.raises(ValueError):
+            KVConfig(substrate="bogus")
+        with pytest.raises(ValueError):
+            KVConfig(n=2, f=1)  # n < 2f+1
+        with pytest.raises(ValueError):
+            KVConfig(k_writers=0)
+        with pytest.raises(ValueError):
+            KVConfig(substrate="max-register", shared_fleet=True)
+        with pytest.raises(ValueError):
+            KVConfig(max_keys=0)
+
+    def test_frozen(self):
+        config = KVConfig()
+        with pytest.raises(Exception):
+            config.n = 99
+
+    def test_picklable_and_hashable(self):
+        config = KVConfig.make("register", n=3, f=1, k_writers=2)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert hash(clone) == hash(config)
+
+    def test_cache_payload_round_trips_json(self):
+        import json
+
+        payload = KVConfig.make("max-register", n=5, f=2).cache_payload()
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+        assert payload["substrate"] == "max-register"
+
+    def test_store_rejects_config_plus_overrides(self):
+        with pytest.raises(ValueError):
+            ReplicatedKVStore(KVConfig(), n=3)

@@ -32,40 +32,40 @@ class TestConfig:
 class TestSharedOperations:
     def test_put_get_multiple_keys(self):
         store = _store()
-        store.put("a", 1)
-        store.put("b", 2, writer_index=1)
+        store.session().put("a", 1)
+        store.session(writer=1).put("b", 2)
         assert store.get("a") == 1
         assert store.get("b") == 2
         assert all(store.audit().values())
 
     def test_key_capacity_enforced(self):
         store = _store(max_keys=2)
-        store.put("a", 1)
-        store.put("b", 2)
+        store.session().put("a", 1)
+        store.session().put("b", 2)
         with pytest.raises(RuntimeError):
-            store.put("c", 3)
+            store.session().put("c", 3)
 
     def test_single_crash_event_hits_all_keys(self):
         store = _store(seed=3)
-        store.put("a", "x")
-        store.put("b", "y")
+        store.session().put("a", "x")
+        store.session().put("b", "y")
         store.crash_server(0)
         # The shared object map shows exactly one crashed server...
         fleet = store._fleet
         assert len(fleet.object_map.crashed_servers) == 1
         # ...and both keys keep working.
         assert store.get("a") == "x"
-        store.put("b", "y2", writer_index=1)
+        store.session(writer=1).put("b", "y2")
         assert store.get("b") == "y2"
 
     def test_space_accounting_per_key(self):
         store = _store()
-        store.put("a", 1)
+        store.session().put("a", 1)
         per_key = store.base_objects_per_key()
         # k=2 writers, n=5, f=2 at n=2f+1: k(2f+1) = 10 per key.
         assert per_key["a"] == 10
         assert store.base_objects == 10
-        store.put("b", 2)
+        store.session().put("b", 2)
         assert store.base_objects == 20
 
     def test_fleet_total_provisioned_up_front(self):
@@ -74,18 +74,18 @@ class TestSharedOperations:
 
     def test_snapshot_and_audit(self):
         store = _store(seed=5)
-        store.put("k1", "v1")
-        store.put("k2", "v2")
-        store.put("k1", "v1b", writer_index=1)
+        store.session().put("k1", "v1")
+        store.session().put("k2", "v2")
+        store.session(writer=1).put("k1", "v1b")
         assert store.snapshot() == {"k1": "v1b", "k2": "v2"}
         assert all(store.audit().values())
 
     def test_survives_f_crashes(self):
         store = _store(seed=7)
-        store.put("a", "before")
+        store.session().put("a", "before")
         store.crash_server(1)
         store.crash_server(3)
         assert store.get("a") == "before"
-        store.put("a", "after", writer_index=1)
+        store.session(writer=1).put("a", "after")
         assert store.get("a") == "after"
         assert all(store.audit().values())

@@ -96,7 +96,7 @@ class TestKVReconfigurationScenario:
 
         # Normal operation in epoch 1.
         config_epoch = epochs.advance(process=0)
-        store.put("profile", {"name": "ada"}, writer_index=0)
+        store.session(writer=0).put("profile", {"name": "ada"})
         assert store.get("profile") == {"name": "ada"}
 
         # Reconfiguration: another process moves to epoch 2.
@@ -109,7 +109,7 @@ class TestKVReconfigurationScenario:
         store.crash_server(0)
         epochs.crash_server(4)
         store.crash_server(4)
-        store.put("profile", {"name": "ada", "epoch": observed}, writer_index=1)
+        store.session(writer=1).put("profile", {"name": "ada", "epoch": observed})
         assert store.get("profile")["epoch"] == 2
         assert epochs.current(process=9) == 2
         assert all(store.audit().values())
@@ -122,12 +122,12 @@ class TestKVSoak:
             substrate=substrate, n=5, f=2, k_writers=3, seed=5
         )
         for index in range(6):
-            store.put(f"key{index}", index * 10, writer_index=index % 3)
+            store.session(writer=index % 3).put(f"key{index}", index * 10)
         store.crash_server(1)
         for index in range(6):
             assert store.get(f"key{index}") == index * 10
         store.crash_server(3)
         for index in range(6):
-            store.put(f"key{index}", index * 10 + 1, writer_index=(index + 1) % 3)
+            store.session(writer=(index + 1) % 3).put(f"key{index}", index * 10 + 1)
             assert store.get(f"key{index}") == index * 10 + 1
         assert all(store.audit().values())

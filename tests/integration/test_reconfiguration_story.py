@@ -26,8 +26,8 @@ class TestReconfigurationStory:
             shared_fleet=True,
             max_keys=4,
         )
-        store.put("orders", ["o1"])
-        store.put("users", {"u1": "ada"}, writer_index=1)
+        store.session().put("orders", ["o1"])
+        store.session(writer=1).put("users", {"u1": "ada"})
         assert config.fetch() == (0, {"members": 5, "version": 1})
 
         # Act 2: an operator installs config v2.
@@ -61,8 +61,8 @@ class TestReconfigurationStory:
         assert config.fetch(process=8)[1]["version"] == 2  # no clobber
 
         # Act 5: business as usual on the degraded fleet.
-        store.put("orders", ["o1", "o2"], writer_index=1)
-        store.delete("users")
+        store.session(writer=1).put("orders", ["o1", "o2"])
+        store.session().delete("users")
         assert store.snapshot() == {"orders": ["o1", "o2"]}
 
         # Epilogue: verify everything that ran.

@@ -47,7 +47,7 @@ def test_kv_matches_dict_model(script):
     crashed = set()
     for kind, key, payload, writer in ops:
         if kind == "put":
-            store.put(key, payload, writer_index=writer)
+            store.session(writer=writer).put(key, payload)
             model[key] = payload
         elif kind == "get":
             assert store.get(key) == model.get(key)

@@ -42,7 +42,7 @@ class KVStoreMachine(RuleBasedStateMachine):
     def put(self, key, writer):
         value = f"v{self.counter}"
         self.counter += 1
-        self.store.put(key, value, writer_index=writer)
+        self.store.session(writer=writer).put(key, value)
         self.model[key] = value
 
     @rule(key=st.sampled_from(KEYS))

@@ -1,0 +1,65 @@
+"""The typed error hierarchy and its CLI exit-code mapping."""
+
+import pytest
+
+from repro.cli import exit_code_for
+from repro.errors import (
+    QuorumUnavailable,
+    ReproError,
+    ShardCapacityExceeded,
+    StaleShardMap,
+    WireDecodeError,
+    WriterBoundExceeded,
+)
+
+
+class TestHierarchy:
+    # (class, legacy builtin it must keep satisfying)
+    CASES = [
+        (WriterBoundExceeded, ValueError),
+        (QuorumUnavailable, RuntimeError),
+        (StaleShardMap, RuntimeError),
+        (ShardCapacityExceeded, RuntimeError),
+        (WireDecodeError, ValueError),
+    ]
+
+    @pytest.mark.parametrize("error_class,legacy", CASES)
+    def test_dual_inheritance(self, error_class, legacy):
+        error = error_class("boom")
+        assert isinstance(error, ReproError)
+        assert isinstance(error, legacy)
+
+    def test_one_root_catches_all(self):
+        for error_class, _ in self.CASES:
+            with pytest.raises(ReproError):
+                raise error_class("boom")
+
+    def test_legacy_handlers_still_work(self):
+        # The shape the redesign must not break: pre-existing
+        # ``except ValueError`` call sites around e.g. wire decoding.
+        with pytest.raises(ValueError):
+            raise WireDecodeError("truncated frame")
+        with pytest.raises(RuntimeError):
+            raise QuorumUnavailable("quorum gone")
+
+
+class TestExitCodes:
+    def test_each_class_gets_a_distinct_code(self):
+        codes = [
+            exit_code_for(error_class("x"))
+            for error_class, _ in TestHierarchy.CASES
+        ]
+        assert codes == [3, 4, 5, 6, 7]
+        assert len(set(codes)) == len(codes)
+
+    def test_unknown_errors_fall_back_to_generic(self):
+        assert exit_code_for(ReproError("x")) == 2
+        assert exit_code_for(ValueError("x")) == 2
+
+    def test_wire_decode_paths_raise_typed(self):
+        from repro.net.wire import decode_binary_request, decode_request
+
+        with pytest.raises(WireDecodeError):
+            decode_request(b"not json\n")
+        with pytest.raises(WireDecodeError):
+            decode_binary_request(b"\x00garbage")

@@ -22,12 +22,17 @@ class TestTopLevelSurface:
         "Grid",
         "InstallRaced",
         "KVConfig",
+        "KVSession",
         "Lemma1Runner",
         "MultiRegisterDeployment",
         "RegisterLayout",
         "ReplicatedKVStore",
         "ReplicatedMaxRegisterEmulation",
+        "ReproError",
         "ResultCache",
+        "ShardConfig",
+        "ShardServiceConfig",
+        "ShardedKVService",
         "SingleCASMaxRegister",
         "VerificationReport",
         "WSRegisterEmulation",
@@ -38,6 +43,7 @@ class TestTopLevelSurface:
         "is_register_history_atomic",
         "run_experiment",
         "run_experiment_grid",
+        "run_loadgen",
         "run_workload",
         "verify_run",
         "write_sequential_workload",
