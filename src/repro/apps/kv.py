@@ -43,7 +43,10 @@ from repro.core.abd import ABDEmulation
 from repro.core.cas_maxreg import CASABDEmulation
 from repro.core.ws_register import WSRegisterEmulation
 from repro.errors import (
+    BoundViolation,
+    InvalidConfig,
     QuorumUnavailable,
+    SessionClosed,
     ShardCapacityExceeded,
     WriterBoundExceeded,
 )
@@ -62,7 +65,9 @@ class _Tombstone:
         return isinstance(other, _Tombstone)
 
     def __hash__(self) -> int:
-        return hash("_Tombstone")
+        # A fixed constant, not hash("_Tombstone"): str hashing is salted
+        # per process, and the sentinel is a process-wide singleton anyway.
+        return 0x70B5
 
 
 TOMBSTONE = _Tombstone()
@@ -102,23 +107,23 @@ class KVConfig:
 
     def validate(self) -> None:
         if self.substrate not in SUBSTRATES:
-            raise ValueError(
+            raise InvalidConfig(
                 f"substrate must be one of {SUBSTRATES},"
                 f" got {self.substrate!r}"
             )
         if self.n < 2 * self.f + 1:
-            raise ValueError(
+            raise InvalidConfig(
                 f"n must be at least 2f+1 = {2 * self.f + 1}, got {self.n}"
             )
         if self.k_writers <= 0:
-            raise ValueError("k_writers must be positive")
+            raise InvalidConfig("k_writers must be positive")
         if self.shared_fleet and self.substrate != "register":
-            raise ValueError(
+            raise InvalidConfig(
                 "shared_fleet deployment is implemented for the register"
                 " substrate"
             )
         if self.max_keys <= 0:
-            raise ValueError("max_keys must be positive")
+            raise InvalidConfig("max_keys must be positive")
 
     def cache_payload(self) -> "Dict[str, Any]":
         """A canonical JSON-able form for result-cache cell keys."""
@@ -161,7 +166,7 @@ class KVSession:
 
     def _check_open(self) -> None:
         if self.closed:
-            raise RuntimeError("operation on a closed KV session")
+            raise SessionClosed("operation on a closed KV session")
 
     def _writer_index(self) -> int:
         if self.writer is None:
@@ -217,7 +222,7 @@ class ReplicatedKVStore:
     def __init__(self, config: "Optional[KVConfig]" = None, **overrides):
         self.config = config or KVConfig(**overrides)
         if overrides and config is not None:
-            raise ValueError("pass either a KVConfig or keyword overrides")
+            raise InvalidConfig("pass either a KVConfig or keyword overrides")
         self._keys: "Dict[str, _KeyState]" = {}
         self._seed = self.config.seed
         self._fleet = None
@@ -378,7 +383,7 @@ class ReplicatedKVStore:
         from repro.sim.ids import ServerId
 
         if not 0 <= server_index < self.config.n:
-            raise ValueError(f"server index {server_index} out of range")
+            raise BoundViolation(f"server index {server_index} out of range")
         if self._fleet is not None:
             self._fleet.crash_server(server_index)
             return

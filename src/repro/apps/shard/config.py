@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Tuple
 
+from repro.errors import InvalidConfig
+
 #: substrates a shard can run on; maps 1:1 to Table 1 rows (register =
 #: Algorithm 2's kf + ceil(k/z)(f+1) economics with a k-writer bound;
 #: max-register / cas = 2f+1 per slot, unbounded writers).
@@ -36,18 +38,18 @@ class ShardConfig:
 
     def __post_init__(self) -> None:
         if self.substrate not in SHARD_SUBSTRATES:
-            raise ValueError(
+            raise InvalidConfig(
                 f"substrate must be one of {SHARD_SUBSTRATES},"
                 f" got {self.substrate!r}"
             )
         if self.n < 2 * self.f + 1:
-            raise ValueError(
+            raise InvalidConfig(
                 f"n must be at least 2f+1 = {2 * self.f + 1}, got {self.n}"
             )
         if self.k_writers <= 0:
-            raise ValueError("k_writers must be positive")
+            raise InvalidConfig("k_writers must be positive")
         if self.capacity <= 0:
-            raise ValueError("capacity must be positive")
+            raise InvalidConfig("capacity must be positive")
 
     @classmethod
     def make(cls, substrate: str = "max-register", **params) -> "ShardConfig":
@@ -76,13 +78,13 @@ class ShardServiceConfig:
 
     def __post_init__(self) -> None:
         if not self.shards:
-            raise ValueError("need at least one shard")
+            raise InvalidConfig("need at least one shard")
         if not all(isinstance(s, ShardConfig) for s in self.shards):
-            raise ValueError("shards must be ShardConfig instances")
+            raise InvalidConfig("shards must be ShardConfig instances")
         if self.writer_pool <= 0:
-            raise ValueError("writer_pool must be positive")
+            raise InvalidConfig("writer_pool must be positive")
         if self.reader_pool <= 0:
-            raise ValueError("reader_pool must be positive")
+            raise InvalidConfig("reader_pool must be positive")
 
     @classmethod
     def make(
@@ -96,7 +98,7 @@ class ShardServiceConfig:
     ) -> "ShardServiceConfig":
         """A uniform service: ``shards`` identical :class:`ShardConfig`."""
         if shards <= 0:
-            raise ValueError("need at least one shard")
+            raise InvalidConfig("need at least one shard")
         shard = ShardConfig.make(substrate=substrate, **shard_params)
         return cls(
             shards=(shard,) * shards,

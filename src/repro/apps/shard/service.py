@@ -32,7 +32,9 @@ from repro.apps.shard.config import ShardServiceConfig
 from repro.apps.shard.fleet import ShardFleet
 from repro.apps.shard.router import ShardRouter
 from repro.errors import (
+    InvalidConfig,
     QuorumUnavailable,
+    SessionClosed,
     ShardCapacityExceeded,
     WriterBoundExceeded,
 )
@@ -52,7 +54,7 @@ class ShardedKVService:
         transports: "Optional[Sequence[Any]]" = None,
     ):
         if transports is not None and len(transports) != config.n_shards:
-            raise ValueError(
+            raise InvalidConfig(
                 f"got {len(transports)} transport(s) for"
                 f" {config.n_shards} shards: pass one per shard (None"
                 " entries select in-process delivery)"
@@ -352,7 +354,7 @@ class ServiceSession:
 
     def _check(self) -> None:
         if self.closed:
-            raise RuntimeError("operation on a closed service session")
+            raise SessionClosed("operation on a closed service session")
         self._service.router.check_version(self.map_version)
 
     # -- synchronous operations --------------------------------------------

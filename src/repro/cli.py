@@ -241,14 +241,21 @@ def cmd_lint(args) -> int:
 
     from repro.lint import (
         Baseline,
+        collect_files,
+        git_changed_files,
         lint_paths,
+        render_explain,
         render_json,
         render_rules,
+        render_sarif,
         render_text,
     )
 
     if args.list_rules:
         print(render_rules())
+        return 0
+    if args.explain:
+        print(render_explain(args.explain))
         return 0
     baseline = None
     if not args.no_baseline and not args.write_baseline:
@@ -260,8 +267,31 @@ def cmd_lint(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    paths = args.paths or ["src"]
+    if args.changed:
+        changed = git_changed_files()
+        if changed is None:
+            print(
+                "warning: --changed needs a git work tree; linting"
+                " everything",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                selected = [
+                    path
+                    for path in collect_files(paths)
+                    if path.resolve() in changed
+                ]
+            except FileNotFoundError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if not selected:
+                print("repro lint: no changed files under the given paths")
+                return 0
+            paths = selected
     try:
-        result = lint_paths(args.paths or ["src"], baseline=baseline)
+        result = lint_paths(paths, baseline=baseline, jobs=args.jobs)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -273,6 +303,22 @@ def cmd_lint(args) -> int:
             file=sys.stderr,
         )
         return 0
+    if args.prune_baseline:
+        if baseline is None:
+            print(
+                "error: --prune-baseline needs a baseline file",
+                file=sys.stderr,
+            )
+            return 2
+        pruned = baseline.pruned(result.stale_baseline)
+        dropped = len(baseline.entries) - len(pruned.entries)
+        pruned.save(args.baseline)
+        print(
+            f"pruned {dropped} stale entr(y/ies) from {args.baseline}"
+            f" ({len(pruned.entries)} remain)",
+            file=sys.stderr,
+        )
+        result.stale_baseline = []
     if args.json:
         payload = render_json(result)
         if args.json == "-":
@@ -280,9 +326,16 @@ def cmd_lint(args) -> int:
         else:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
-    text = render_text(result, verbose=args.verbose)
-    if args.json != "-":
-        print(text)
+    if args.format == "sarif":
+        reasons = baseline.reasons() if baseline is not None else None
+        print(render_sarif(result, baseline_reasons=reasons))
+    elif args.format == "json":
+        if args.json != "-":
+            print(render_json(result))
+    else:
+        text = render_text(result, verbose=args.verbose)
+        if args.json != "-":
+            print(text)
     return 0 if result.ok and not result.stale_baseline else 1
 
 
@@ -783,7 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_lint = sub.add_parser(
-        "lint", help="simulation-discipline static analysis (R001-R006)"
+        "lint", help="simulation-discipline static analysis (R001-R010)"
     )
     p_lint.add_argument(
         "paths",
@@ -795,6 +848,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help='write the JSON findings report to PATH ("-" for stdout)',
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format on stdout (sarif = SARIF 2.1.0 for CI"
+        " annotations)",
+    )
+    p_lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs HEAD (staged, unstaged,"
+        " untracked)",
+    )
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="analyze files across N worker processes (0 = sequential)",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print one rule's rationale and fix guidance (e.g. R010)",
+    )
+    p_lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop stale entries from the baseline file and rewrite it",
     )
     p_lint.add_argument(
         "--baseline",
@@ -1070,6 +1153,9 @@ def exit_code_for(error) -> int:
         (errors.StaleShardMap, 5),
         (errors.ShardCapacityExceeded, 6),
         (errors.WireDecodeError, 7),
+        (errors.InvalidConfig, 8),
+        (errors.BoundViolation, 9),
+        (errors.SessionClosed, 10),
     ):
         if isinstance(error, error_class):
             return code

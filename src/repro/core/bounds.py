@@ -15,18 +15,20 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+from repro.errors import BoundViolation
+
 
 def _validate_kf(k: int, f: int) -> None:
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise BoundViolation(f"k must be positive, got {k}")
     if f <= 0:
-        raise ValueError(f"f must be positive, got {f}")
+        raise BoundViolation(f"f must be positive, got {f}")
 
 
 def _validate(k: int, n: int, f: int) -> None:
     _validate_kf(k, f)
     if n < 2 * f + 1:
-        raise ValueError(
+        raise BoundViolation(
             f"n must be at least 2f+1 = {2 * f + 1} (Theorem 5), got {n}"
         )
 
@@ -35,7 +37,7 @@ def min_servers(f: int) -> int:
     """Theorem 5: any f-tolerant WS-Safe obstruction-free emulation needs
     at least 2f + 1 servers."""
     if f <= 0:
-        raise ValueError(f"f must be positive, got {f}")
+        raise BoundViolation(f"f must be positive, got {f}")
     return 2 * f + 1
 
 
@@ -53,7 +55,7 @@ def y_value(n: int, f: int) -> int:
 def max_register_lower_bound(f: int) -> int:
     """Table 1: max-register base objects, lower bound (2f + 1)."""
     if f <= 0:
-        raise ValueError(f"f must be positive, got {f}")
+        raise BoundViolation(f"f must be positive, got {f}")
     return 2 * f + 1
 
 
@@ -99,7 +101,7 @@ def bounds_coincide(k: int, n: int, f: int) -> bool:
 def k_max_register_lower_bound(k: int) -> int:
     """Theorem 2: a wait-free k-writer max-register needs >= k registers."""
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise BoundViolation(f"k must be positive, got {k}")
     return k
 
 
@@ -119,7 +121,7 @@ def servers_needed_bounded_storage(k: int, f: int, m: int) -> int:
     needs at least ``ceil(kf/m) + f + 1`` servers."""
     _validate_kf(k, f)
     if m <= 0:
-        raise ValueError(f"per-server capacity m must be positive, got {m}")
+        raise BoundViolation(f"per-server capacity m must be positive, got {m}")
     return math.ceil(k * f / m) + f + 1
 
 
@@ -142,7 +144,7 @@ def layout_set_sizes(k: int, n: int, f: int) -> "list[int]":
 def writers_supported_by_set(set_size: int, f: int) -> int:
     """``floor((|Ri| - (f+1)) / f)``: writers a set of registers supports."""
     if f <= 0:
-        raise ValueError(f"f must be positive, got {f}")
+        raise BoundViolation(f"f must be positive, got {f}")
     return (set_size - (f + 1)) // f
 
 
@@ -163,7 +165,7 @@ def table1_row(base_object: str, k: int, n: int, f: int) -> "Dict[str, int]":
             "lower": register_lower_bound(k, n, f),
             "upper": register_upper_bound(k, n, f),
         }
-    raise ValueError(f"unknown base object type {base_object!r}")
+    raise BoundViolation(f"unknown base object type {base_object!r}")
 
 
 def max_writers_within_budget(n: int, f: int, budget: int) -> int:
@@ -175,7 +177,7 @@ def max_writers_within_budget(n: int, f: int, budget: int) -> int:
     """
     _validate(1, n, f)
     if budget <= 0:
-        raise ValueError(f"budget must be positive, got {budget}")
+        raise BoundViolation(f"budget must be positive, got {budget}")
     # register_upper_bound is non-decreasing in k: binary search.
     if register_upper_bound(1, n, f) > budget:
         return 0

@@ -59,3 +59,33 @@ class ShardCapacityExceeded(ReproError, RuntimeError):
 class WireDecodeError(ReproError, ValueError):
     """A wire frame failed to decode (truncation, trailing bytes,
     unknown tags, malformed payloads)."""
+
+
+class InvalidConfig(ReproError, ValueError):
+    """A configuration object was built with inconsistent parameters.
+
+    Raised by the eager ``__post_init__``/``validate`` checks of the
+    frozen config dataclasses (``KVConfig``, ``ShardConfig``,
+    ``ShardServiceConfig``, …): a bad substrate name, a writer pool of
+    zero, transports that do not match the shard count.  Caller error,
+    detected before any simulation state exists.
+    """
+
+
+class BoundViolation(ReproError, ValueError):
+    """A parameter is outside the domain of one of the paper's bounds.
+
+    The closed-form functions in :mod:`repro.core.bounds` implement
+    Table 1 and Theorems 1-7, whose statements require ``k > 0``,
+    ``f > 0`` and ``n >= 2f + 1``; calling them outside that domain is
+    a caller error, not a property of the emulation.
+    """
+
+
+class SessionClosed(ReproError, RuntimeError):
+    """An operation was attempted on a closed session handle.
+
+    Session handles (``KVSession``, ``ServiceSession``) are single-use
+    context managers; using one after ``close()`` is a lifecycle bug in
+    the caller, distinct from any transient quorum failure.
+    """

@@ -3,9 +3,13 @@
 AST-based, codebase-specific rules that make the reproduction's model
 assumptions machine-checked instead of conventional: determinism under a
 seed (R001/R002/R006), Emulation-protocol conformance (R003), the
-paper's base-object access discipline (R004) and listener hygiene
-(R005).  See ``docs/LINTING.md`` for the catalog, the suppression
-syntax and the baseline workflow, and ``repro lint --help`` for the CLI.
+paper's base-object access discipline (R004), listener hygiene (R005),
+and the dataflow-aware v2 families — event-loop discipline (R007),
+fire-and-forget tasks (R008), replay-determinism taint (R009), and
+typed-error discipline (R010).  See ``docs/LINTING.md`` for the
+catalog, the suppression syntax, and the baseline workflow, and ``repro
+lint --help`` for the CLI (``--format sarif``, ``--changed``,
+``--jobs``, ``--explain``, ``--prune-baseline``).
 """
 
 from repro.lint.baseline import Baseline, BaselineEntry
@@ -17,12 +21,22 @@ from repro.lint.engine import (
     ProjectIndex,
     Rule,
     collect_files,
+    git_changed_files,
     lint_paths,
     load_module,
     register_rule,
 )
-from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.report import (
+    render_explain,
+    render_json,
+    render_rules,
+    render_text,
+)
 from repro.lint.rules import EMULATION_SURFACE  # registers the rules
+from repro.lint.rules_flow import (  # noqa: F401 — registers R007-R010
+    functions_with_enclosing,
+)
+from repro.lint.sarif import render_sarif, sarif_payload, validate_sarif
 
 __all__ = [
     "Baseline",
@@ -35,10 +49,16 @@ __all__ = [
     "RULES",
     "Rule",
     "collect_files",
+    "functions_with_enclosing",
+    "git_changed_files",
     "lint_paths",
     "load_module",
     "register_rule",
+    "render_explain",
     "render_json",
     "render_rules",
+    "render_sarif",
     "render_text",
+    "sarif_payload",
+    "validate_sarif",
 ]

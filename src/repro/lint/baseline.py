@@ -120,3 +120,22 @@ class Baseline:
             if entry.fingerprint not in matched
         ]
         return active, baselined, stale
+
+    def pruned(self, stale: "List[Dict[str, str]]") -> "Baseline":
+        """A copy without the given stale entries (``--prune-baseline``)."""
+        stale_fingerprints = {entry["fingerprint"] for entry in stale}
+        return Baseline(
+            entries=[
+                entry
+                for entry in self.entries
+                if entry.fingerprint not in stale_fingerprints
+            ]
+        )
+
+    def reasons(self) -> "Dict[str, str]":
+        """fingerprint -> reason, for SARIF suppression justifications."""
+        return {
+            entry.fingerprint: entry.reason
+            for entry in self.entries
+            if entry.reason
+        }

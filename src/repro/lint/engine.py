@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import multiprocessing
 import re
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -42,6 +44,14 @@ from typing import (
 #: rule id for files the parser rejects (not a registered rule: a file
 #: that does not parse cannot be checked, which is itself a finding).
 PARSE_ERROR = "R000"
+
+_MP_CONTEXT: "Optional[multiprocessing.context.BaseContext]"
+try:
+    # Fork keeps workers identical to the parent (registered rules and
+    # all) and skips re-import; same pattern as repro.exec.engine.
+    _MP_CONTEXT = multiprocessing.get_context("fork")
+except ValueError:  # pragma: no cover — non-POSIX platforms
+    _MP_CONTEXT = None
 
 _DIRECTIVE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<ids>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
@@ -393,6 +403,7 @@ def run_rules(
     """Run the (selected) rules over parsed modules; assign fingerprints."""
     # Import for the side effect of registering the built-in rules.
     import repro.lint.rules  # noqa: F401
+    import repro.lint.rules_flow  # noqa: F401
 
     selected = [
         RULES[rule_id]
@@ -439,17 +450,12 @@ def run_rules(
     return stamped
 
 
-def lint_paths(
-    paths: "Iterable[Path | str]",
-    baseline: "Optional[object]" = None,
-    rule_ids: "Optional[Iterable[str]]" = None,
-) -> LintResult:
-    """Lint files/directories; apply suppressions, then the baseline."""
-    files = collect_files(paths)
-    modules = [load_module(path) for path in files]
-    findings = run_rules(modules, rule_ids)
+def _split_suppressed(
+    modules: "Sequence[ModuleInfo]", findings: "Sequence[Finding]"
+) -> "Tuple[List[Finding], List[Finding]]":
+    """Partition findings into (unsuppressed, suppressed) via directives."""
     by_display = {module.display_path: module for module in modules}
-    active: "List[Finding]" = []
+    unsuppressed: "List[Finding]" = []
     suppressed: "List[Finding]" = []
     for item in findings:
         module = by_display.get(item.path)
@@ -458,7 +464,87 @@ def lint_paths(
         ):
             suppressed.append(item)
         else:
-            active.append(item)
+            unsuppressed.append(item)
+    return unsuppressed, suppressed
+
+
+def _analyze_chunk(
+    payload: "Tuple[Tuple[str, ...], Optional[Tuple[str, ...]]]",
+) -> "Tuple[List[Finding], List[Finding], List[Finding]]":
+    """Worker body for parallel lint: one chunk of whole files.
+
+    Fingerprint occurrence counters and suppression lookups are both
+    per-file, so any whole-file partition of the input produces the
+    same findings as a sequential run.
+    """
+    file_strs, rule_ids = payload
+    modules = [load_module(Path(item)) for item in file_strs]
+    findings = run_rules(
+        modules, list(rule_ids) if rule_ids is not None else None
+    )
+    unsuppressed, suppressed = _split_suppressed(modules, findings)
+    return findings, unsuppressed, suppressed
+
+
+def _FINDING_ORDER(item: Finding) -> "Tuple[str, int, int, str]":
+    return (item.relpath, item.line, item.col, item.rule)
+
+
+def lint_paths(
+    paths: "Iterable[Path | str]",
+    baseline: "Optional[object]" = None,
+    rule_ids: "Optional[Iterable[str]]" = None,
+    jobs: int = 0,
+) -> LintResult:
+    """Lint files/directories; apply suppressions, then the baseline.
+
+    ``jobs > 1`` fans whole files out across a fork-context process
+    pool (``repro lint --jobs``); output order and fingerprints are
+    identical to a sequential run.  Falls back to sequential when fork
+    is unavailable or the pool breaks.
+    """
+    files = collect_files(paths)
+    rule_list = list(rule_ids) if rule_ids is not None else None
+    findings: "Optional[List[Finding]]" = None
+    active: "List[Finding]" = []
+    suppressed: "List[Finding]" = []
+    if jobs > 1 and _MP_CONTEXT is not None and len(files) > 1:
+        workers = min(jobs, len(files))
+        chunks = [
+            tuple(str(path) for path in files[index::workers])
+            for index in range(workers)
+        ]
+        tasks = [
+            (chunk, tuple(rule_list) if rule_list is not None else None)
+            for chunk in chunks
+            if chunk
+        ]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=len(tasks), mp_context=_MP_CONTEXT
+            ) as pool:
+                parts = list(pool.map(_analyze_chunk, tasks))
+        except Exception:  # pragma: no cover — broken pool, fall back
+            parts = None
+        if parts is not None:
+            findings = sorted(
+                (item for part in parts for item in part[0]),
+                key=_FINDING_ORDER,
+            )
+            active = sorted(
+                (item for part in parts for item in part[1]),
+                key=_FINDING_ORDER,
+            )
+            suppressed = sorted(
+                (item for part in parts for item in part[2]),
+                key=_FINDING_ORDER,
+            )
+    if findings is None:
+        modules = [load_module(path) for path in files]
+        findings = run_rules(modules, rule_list)
+        active, suppressed = _split_suppressed(modules, findings)
     baselined: "List[Finding]" = []
     stale: "List[Dict[str, str]]" = []
     if baseline is not None:
@@ -471,3 +557,32 @@ def lint_paths(
         stale_baseline=stale,
         files=len(files),
     )
+
+
+def git_changed_files(cwd: "Path | str" = ".") -> "Optional[Set[Path]]":
+    """Files changed relative to HEAD (staged, unstaged, untracked).
+
+    Returns resolved absolute paths, or None when ``git`` is missing or
+    the directory is not a work tree — callers fall back to a full run.
+    """
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    changed: "Set[Path]" = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=str(cwd),
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add((Path(cwd) / line.strip()).resolve())
+    return changed

@@ -55,11 +55,25 @@ def render_json(result: LintResult) -> str:
 
 def render_rules() -> str:
     """The rule catalog (``repro lint --list-rules``)."""
-    # Importing the rules module populates the registry.
+    # Importing the rule modules populates the registry.
     import repro.lint.rules  # noqa: F401
+    import repro.lint.rules_flow  # noqa: F401
 
     width = max(len(rule_id) for rule_id in RULES)
     return "\n".join(
         f"{rule_id:<{width}}  {rule.title}"
         for rule_id, rule in sorted(RULES.items())
     )
+
+
+def render_explain(rule_id: str) -> str:
+    """One rule's rationale (``repro lint --explain R010``)."""
+    import repro.lint.rules  # noqa: F401
+    import repro.lint.rules_flow  # noqa: F401
+
+    rule = RULES.get(rule_id)
+    if rule is None:
+        known = ", ".join(sorted(RULES))
+        return f"unknown rule {rule_id!r}; known rules: {known}"
+    body = getattr(rule, "explain", "") or rule.title
+    return f"{rule.id} — {rule.title}\n\n{body}"

@@ -1,0 +1,343 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the format CI
+platforms ingest for PR annotations: GitHub's ``upload-sarif`` action
+turns each ``result`` into an inline diff annotation at its
+``physicalLocation``.  This module renders a :class:`~repro.lint.engine.
+LintResult` as one SARIF run and validates the output — against the
+relevant slice of the official schema via ``jsonschema`` when that
+package is importable, and via structural checks otherwise, so the
+``lint-self`` CI smoke needs no network access.
+
+Suppressed and baselined findings are included with a ``suppressions``
+array (kind ``inSource`` for ``# repro-lint: disable=`` directives,
+kind ``external`` for baseline entries, carrying the baseline reason as
+the justification); SARIF consumers hide suppressed results but keep
+them auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.lint.engine import RULES, Finding, LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: the slice of the SARIF 2.1.0 schema the lint output exercises.
+#: Field names and requiredness mirror the official schema; keeping it
+#: inline lets CI validate without fetching the 300 kB original.
+SARIF_MINI_SCHEMA: "Dict[str, Any]" = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": SARIF_VERSION},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object"
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message", "ruleId"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "string"
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            },
+                                            "justification": {
+                                                "type": "string"
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _artifact_uri(finding: Finding) -> str:
+    return finding.path.replace("\\", "/")
+
+
+def _result(
+    finding: Finding,
+    rule_index: "Dict[str, int]",
+    suppression: "Optional[Dict[str, str]]" = None,
+) -> "Dict[str, Any]":
+    payload: "Dict[str, Any]" = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(finding)},
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if finding.rule in rule_index:
+        payload["ruleIndex"] = rule_index[finding.rule]
+    if suppression is not None:
+        payload["suppressions"] = [suppression]
+    return payload
+
+
+def sarif_payload(
+    result: LintResult,
+    tool_version: str = "0",
+    baseline_reasons: "Optional[Dict[str, str]]" = None,
+) -> "Dict[str, Any]":
+    """The SARIF log for one lint run, as a plain dict.
+
+    ``baseline_reasons`` maps fingerprints to baseline reason strings so
+    baselined results carry their justification.
+    """
+    # importing the rule modules populates the registry for the catalog
+    import repro.lint.rules  # noqa: F401
+    import repro.lint.rules_flow  # noqa: F401
+
+    reasons = baseline_reasons or {}
+    rules: "List[Dict[str, Any]]" = []
+    rule_index: "Dict[str, int]" = {}
+    for rule_id, rule in sorted(RULES.items()):
+        rule_index[rule_id] = len(rules)
+        descriptor: "Dict[str, Any]" = {
+            "id": rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        explain = getattr(rule, "explain", "")
+        if explain:
+            descriptor["fullDescription"] = {
+                "text": " ".join(explain.split())
+            }
+        rules.append(descriptor)
+    results: "List[Dict[str, Any]]" = []
+    for finding in result.active:
+        results.append(_result(finding, rule_index))
+    for finding in result.suppressed:
+        results.append(
+            _result(finding, rule_index, suppression={"kind": "inSource"})
+        )
+    for finding in result.baselined:
+        suppression = {"kind": "external"}
+        reason = reasons.get(finding.fingerprint)
+        if reason:
+            suppression["justification"] = reason
+        results.append(_result(finding, rule_index, suppression=suppression))
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/LINTING.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    result: LintResult,
+    tool_version: str = "0",
+    baseline_reasons: "Optional[Dict[str, str]]" = None,
+) -> str:
+    """The SARIF log as a JSON string (stable key order)."""
+    return json.dumps(
+        sarif_payload(result, tool_version, baseline_reasons),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _structural_errors(payload: "Dict[str, Any]") -> "List[str]":
+    """Hand-rolled checks mirroring :data:`SARIF_MINI_SCHEMA`."""
+    errors: "List[str]" = []
+    if payload.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty array"]
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            errors.append("tool.driver.name is required")
+        known = {rule.get("id") for rule in driver.get("rules", [])}
+        for item in run.get("results", []):
+            if not item.get("ruleId"):
+                errors.append("result.ruleId is required")
+            elif known and item["ruleId"] not in known:
+                errors.append(
+                    f"result.ruleId {item['ruleId']!r} not in driver.rules"
+                )
+            if "text" not in item.get("message", {}):
+                errors.append("result.message.text is required")
+            for location in item.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                if "uri" not in physical.get("artifactLocation", {}):
+                    errors.append("artifactLocation.uri is required")
+                region = physical.get("region", {})
+                for key in ("startLine", "startColumn"):
+                    value = region.get(key)
+                    if value is not None and (
+                        not isinstance(value, int) or value < 1
+                    ):
+                        errors.append(f"region.{key} must be a 1-based int")
+    return errors
+
+
+def validate_sarif(payload: "Dict[str, Any]") -> "List[str]":
+    """Validation errors for a SARIF log (empty list = valid).
+
+    Prefers ``jsonschema`` against :data:`SARIF_MINI_SCHEMA`; falls back
+    to the structural checks when jsonschema is unavailable.
+    """
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover — jsonschema ships in CI
+        return _structural_errors(payload)
+    validator = jsonschema.Draft202012Validator(SARIF_MINI_SCHEMA)
+    errors = [
+        f"{'/'.join(str(part) for part in error.absolute_path)}:"
+        f" {error.message}"
+        for error in validator.iter_errors(payload)
+    ]
+    # the mini-schema cannot express cross-references; keep the
+    # structural ruleId-in-catalog check on top
+    return errors + [
+        message
+        for message in _structural_errors(payload)
+        if "not in driver.rules" in message
+    ]

@@ -187,6 +187,11 @@ class AsyncioTransport(Transport):
         self._crashed_replicas: "Set[int]" = set()
         #: server indices with a live redial loop (at most one per link).
         self._redialing: "Set[int]" = set()
+        #: live background tasks (readers, redialers): asyncio holds
+        #: tasks weakly, so the set keeps them alive until done.
+        self._tasks: "Set[asyncio.Task]" = set()
+        #: first unexpected background-task failure (diagnostics).
+        self._background_error: "Optional[BaseException]" = None
         #: frames queued per server index since the last loop flush.
         self._outbox: "Dict[int, List[bytes]]" = {}
         self._outbox_lock = threading.Lock()
@@ -252,6 +257,38 @@ class AsyncioTransport(Transport):
             loop.run_until_complete(self._shutdown())
             loop.close()
 
+    def _spawn(self, coro) -> "asyncio.Task":
+        """ensure_future with an exception sink (lint rule R008).
+
+        The task set keeps the handle alive (the event loop holds tasks
+        weakly); the done-callback observes failures that escaped the
+        task's own error handling, so a buggy reader or redialer fails
+        loudly instead of dying silently mid-experiment.
+        """
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._reap_task)
+        return task
+
+    def _reap_task(self, task: "asyncio.Task") -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        error = task.exception()
+        if error is not None:
+            if self._background_error is None:
+                self._background_error = error
+            import sys
+            import traceback
+
+            print(
+                "repro.net.asyncio_transport: background task failed:",
+                file=sys.stderr,
+            )
+            traceback.print_exception(
+                type(error), error, error.__traceback__, file=sys.stderr
+            )
+
     async def _open(self) -> None:
         if self.addresses:
             endpoints = []
@@ -276,7 +313,7 @@ class AsyncioTransport(Transport):
             self._endpoints[server_index] = (host, port)
             reader, writer = await asyncio.open_connection(host, port)
             self._writers[server_index] = writer
-            asyncio.ensure_future(self._read_responses(server_index, reader))
+            self._spawn(self._read_responses(server_index, reader))
 
     async def _read_responses(self, server_index: int, reader) -> None:
         codec = self.codec
@@ -309,7 +346,7 @@ class AsyncioTransport(Transport):
             writer.close()
         if server_index not in self._redialing:
             self._redialing.add(server_index)
-            asyncio.ensure_future(self._redial(server_index))
+            self._spawn(self._redial(server_index))
 
     async def _redial(self, server_index: int) -> None:
         host, port = self._endpoints[server_index]
@@ -326,9 +363,7 @@ class AsyncioTransport(Transport):
                     continue
                 self._writers[server_index] = writer
                 self._down.discard(server_index)
-                asyncio.ensure_future(
-                    self._read_responses(server_index, reader)
-                )
+                self._spawn(self._read_responses(server_index, reader))
                 return
         finally:
             self._redialing.discard(server_index)
@@ -406,7 +441,7 @@ class AsyncioTransport(Transport):
                 and server_index not in self._redialing
             ):
                 self._redialing.add(server_index)
-                asyncio.ensure_future(self._redial(server_index))
+                self._spawn(self._redial(server_index))
 
         asyncio.run_coroutine_threadsafe(_up(), self._loop).result(
             self.startup_timeout

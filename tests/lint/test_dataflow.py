@@ -1,0 +1,514 @@
+"""Unit suite for the intraprocedural dataflow engine.
+
+Covers CFG construction over every structured-statement shape the
+builder handles (if/for/while/try/with, break/continue/return/raise),
+reaching-definitions joins at merge points, literal-kind resolution
+through assignments, builtin resolution through parameter defaults,
+and taint propagation with kill-on-clean-reassignment.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.dataflow import (
+    CFG,
+    ReachingDefs,
+    Taint,
+    literal_kind,
+    may_be_kind,
+    resolves_to_builtin,
+)
+
+
+def _func(source: str) -> ast.FunctionDef:
+    module = ast.parse(textwrap.dedent(source))
+    func = module.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return func
+
+
+def _reaching(source: str) -> ReachingDefs:
+    return ReachingDefs(_func(source))
+
+
+def _stmt(reaching: ReachingDefs, kind: type) -> ast.AST:
+    for stmt in reaching.statements():
+        if isinstance(stmt, kind):
+            return stmt
+    raise AssertionError(f"no {kind.__name__} statement found")
+
+
+def _load(name: str) -> ast.expr:
+    return ast.parse(name, mode="eval").body
+
+
+# -- CFG construction ---------------------------------------------------------
+
+
+class TestCFGConstruction:
+    def test_straight_line_is_one_block(self):
+        cfg = CFG.from_function(_func("def f():\n    a = 1\n    b = 2\n"))
+        populated = [b for b in cfg.blocks if b.stmts]
+        assert len(populated) == 1
+        assert len(populated[0].stmts) == 2
+
+    def test_if_creates_branch_and_join(self):
+        cfg = CFG.from_function(
+            _func(
+                """
+                def f(c):
+                    if c:
+                        a = 1
+                    b = 2
+                """
+            )
+        )
+        entry = cfg.blocks[cfg.entry]
+        # fall-through edge (no else) plus then-branch edge
+        assert len(entry.succs) == 2
+
+    def test_if_else_both_exits_reach_join(self):
+        reaching = _reaching(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        assert len(reaching.defs_of(ret, "x")) == 2
+
+    def test_if_without_else_keeps_prior_def(self):
+        reaching = _reaching(
+            """
+            def f(c):
+                x = 1
+                if c:
+                    x = 2
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        lines = sorted(d.stmt.lineno for d in reaching.defs_of(ret, "x"))
+        assert len(lines) == 2
+
+    def test_while_loop_back_edge(self):
+        reaching = _reaching(
+            """
+            def f(c):
+                x = 1
+                while c:
+                    x = x + 1
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        # zero-iteration def AND loop-body def both reach the exit
+        assert len(reaching.defs_of(ret, "x")) == 2
+
+    def test_for_target_defined_in_body(self):
+        reaching = _reaching(
+            """
+            def f(items):
+                for item in items:
+                    use = item
+                return use
+            """
+        )
+        assign = _stmt(reaching, ast.Assign)
+        defs = reaching.defs_of(assign, "item")
+        assert len(defs) == 1
+        assert defs[0].via == "for"
+
+    def test_break_skips_rest_of_loop(self):
+        reaching = _reaching(
+            """
+            def f(items):
+                x = 1
+                for item in items:
+                    break
+                    x = 2
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        lines = [d.stmt.lineno for d in reaching.defs_of(ret, "x")]
+        # the pre-loop def (line 3 of the dedented source) must reach
+        assert 3 in lines
+
+    def test_continue_edges_back_to_header(self):
+        func = _func(
+            """
+            def f(items):
+                total = 0
+                for item in items:
+                    if item:
+                        continue
+                    total = total + 1
+                return total
+            """
+        )
+        # fixpoint must terminate despite the continue back-edge
+        reaching = ReachingDefs(func)
+        ret = _stmt(reaching, ast.Return)
+        assert reaching.defs_of(ret, "total")
+
+    def test_try_except_both_paths_join(self):
+        reaching = _reaching(
+            """
+            def f():
+                try:
+                    x = 1
+                except ValueError:
+                    x = 2
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        assert len(reaching.defs_of(ret, "x")) == 2
+
+    def test_try_handler_sees_partial_body(self):
+        reaching = _reaching(
+            """
+            def f():
+                try:
+                    a = 1
+                    b = risky()
+                    a = 2
+                except ValueError:
+                    out = a
+                return out
+            """
+        )
+        handler_assign = [
+            s
+            for s in reaching.statements()
+            if isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+            and s.targets[0].id == "out"
+        ][0]
+        # the exception may fire between a=1 and a=2: both defs reach
+        assert len(reaching.defs_of(handler_assign, "a")) == 2
+
+    def test_finally_reachable_after_raise(self):
+        reaching = _reaching(
+            """
+            def f():
+                x = 1
+                try:
+                    raise ValueError()
+                finally:
+                    y = x
+            """
+        )
+        y_assign = [
+            s
+            for s in reaching.statements()
+            if isinstance(s, ast.Assign)
+            and isinstance(s.targets[0], ast.Name)
+            and s.targets[0].id == "y"
+        ][0]
+        assert reaching.defs_of(y_assign, "x")
+
+    def test_with_as_binding(self):
+        reaching = _reaching(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+            """
+        )
+        assign = _stmt(reaching, ast.Assign)
+        defs = reaching.defs_of(assign, "fh")
+        assert len(defs) == 1
+        assert defs[0].via == "with"
+
+    def test_return_terminates_block(self):
+        reaching = _reaching(
+            """
+            def f(c):
+                x = 1
+                if c:
+                    return x
+                x = 2
+                return x
+            """
+        )
+        returns = [s for s in reaching.statements() if isinstance(s, ast.Return)]
+        assert len(returns) == 2
+        # at the second return, only x = 2 (line 6) reaches: the
+        # x = 1 def was killed and the early return left the graph
+        lines = [d.stmt.lineno for d in reaching.defs_of(returns[1], "x")]
+        assert lines == [6]
+
+
+# -- reaching-defs semantics --------------------------------------------------
+
+
+class TestReachingDefs:
+    def test_reassignment_kills(self):
+        reaching = _reaching(
+            """
+            def f():
+                x = "a"
+                x = 1
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        defs = reaching.defs_of(ret, "x")
+        assert len(defs) == 1
+        assert literal_kind(defs[0].value) == "int"
+
+    def test_augassign_keeps_prior_defs(self):
+        reaching = _reaching(
+            """
+            def f():
+                total = 0.0
+                total += 1
+                return total
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        vias = {d.via for d in reaching.defs_of(ret, "total")}
+        assert vias == {"assign", "augassign"}
+
+    def test_param_default_is_entry_value(self):
+        reaching = _reaching(
+            """
+            def f(announce=print):
+                return announce
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        defs = reaching.defs_of(ret, "announce")
+        assert len(defs) == 1
+        assert isinstance(defs[0].value, ast.Name)
+        assert defs[0].value.id == "print"
+
+    def test_param_without_default_is_opaque(self):
+        reaching = _reaching("def f(x):\n    return x\n")
+        ret = _stmt(reaching, ast.Return)
+        defs = reaching.defs_of(ret, "x")
+        assert len(defs) == 1
+        assert defs[0].value is None
+
+    def test_tuple_unpack_pairs_values(self):
+        reaching = _reaching(
+            """
+            def f():
+                a, b = "s", 1
+                return a
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        assert literal_kind(reaching.defs_of(ret, "a")[0].value) == "str"
+        assert literal_kind(reaching.defs_of(ret, "b")[0].value) == "int"
+
+    def test_except_as_binding(self):
+        reaching = _reaching(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError as err:
+                    return err
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        defs = reaching.defs_of(ret, "err")
+        assert len(defs) == 1
+        assert defs[0].via == "except"
+
+
+# -- value kinds --------------------------------------------------------------
+
+
+class TestValueKinds:
+    def test_literal_kinds(self):
+        cases = {
+            '"s"': "str",
+            'b"s"': "bytes",
+            "1": "int",
+            "1.5": "float",
+            "True": "bool",
+            "None": "none",
+            "[1]": "list",
+            "(1,)": "tuple",
+            "{1}": "set",
+            "{1: 2}": "dict",
+            'f"{x}"': "str",
+            "str(x)": "str",
+            "sorted(x)": "list",
+            "x.y": None,
+            "foo(x)": None,
+        }
+        for source, expected in cases.items():
+            assert literal_kind(_load(source)) == expected, source
+
+    def test_binop_float_promotion(self):
+        assert literal_kind(_load("1.0 + 2")) == "float"
+        assert literal_kind(_load("1 + 2")) == "int"
+        assert literal_kind(_load('"a" + "b"')) == "str"
+
+    def test_may_be_kind_through_branches(self):
+        reaching = _reaching(
+            """
+            def f(c):
+                x = 1
+                if c:
+                    x = "s"
+                return x
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        name = _load("x")
+        assert may_be_kind(name, "str", reaching, ret)
+        assert may_be_kind(name, "int", reaching, ret)
+        assert not may_be_kind(name, "bytes", reaching, ret)
+
+    def test_may_be_kind_through_chained_names(self):
+        reaching = _reaching(
+            """
+            def f():
+                a = "s"
+                b = a
+                c = b
+                return c
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        assert may_be_kind(_load("c"), "str", reaching, ret)
+
+    def test_unknown_never_matches(self):
+        reaching = _reaching(
+            """
+            def f(x):
+                y = x.attr
+                return y
+            """
+        )
+        ret = _stmt(reaching, ast.Return)
+        assert not may_be_kind(_load("y"), "str", reaching, ret)
+
+    def test_resolves_to_builtin_via_default(self):
+        reaching = _reaching(
+            """
+            def f(announce=print):
+                announce("hi")
+            """
+        )
+        call = _stmt(reaching, ast.Expr)
+        assert (
+            resolves_to_builtin(_load("announce"), {"print"}, reaching, call)
+            == "print"
+        )
+
+    def test_resolves_to_builtin_negative(self):
+        reaching = _reaching(
+            """
+            def f(announce=None):
+                announce("hi")
+            """
+        )
+        call = _stmt(reaching, ast.Expr)
+        assert (
+            resolves_to_builtin(_load("announce"), {"print"}, reaching, call)
+            is None
+        )
+
+
+# -- taint --------------------------------------------------------------------
+
+
+def _hash_source(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "hash"
+    )
+
+
+class TestTaint:
+    def test_taint_propagates_through_assignment(self):
+        reaching = _reaching(
+            """
+            def f(key):
+                h = hash(key)
+                derived = h + 1
+                return derived
+            """
+        )
+        taint = Taint(reaching, _hash_source)
+        ret = _stmt(reaching, ast.Return)
+        assert "h" in taint.tainted_before(ret)
+        assert "derived" in taint.tainted_before(ret)
+
+    def test_clean_reassignment_kills_taint(self):
+        reaching = _reaching(
+            """
+            def f(key):
+                h = hash(key)
+                h = 0
+                return h
+            """
+        )
+        taint = Taint(reaching, _hash_source)
+        ret = _stmt(reaching, ast.Return)
+        assert "h" not in taint.tainted_before(ret)
+
+    def test_taint_survives_one_branch(self):
+        reaching = _reaching(
+            """
+            def f(key, c):
+                h = hash(key)
+                if c:
+                    h = 0
+                return h
+            """
+        )
+        taint = Taint(reaching, _hash_source)
+        ret = _stmt(reaching, ast.Return)
+        # may-analysis: the not-taken branch leaves h tainted
+        assert "h" in taint.tainted_before(ret)
+
+    def test_expr_tainted_reads_state(self):
+        reaching = _reaching(
+            """
+            def f(key):
+                h = hash(key)
+                return h
+            """
+        )
+        taint = Taint(reaching, _hash_source)
+        ret = _stmt(reaching, ast.Return)
+        assert taint.expr_tainted(_load("h + 1"), taint.tainted_before(ret))
+        assert not taint.expr_tainted(_load("k"), taint.tainted_before(ret))
+
+    def test_stmt_sources_hook(self):
+        reaching = _reaching(
+            """
+            def f(xs):
+                total = 0.0
+                for x in xs:
+                    total += x
+                return total
+            """
+        )
+
+        def float_augment(stmt, state):
+            if isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                return {stmt.target.id}
+            return set()
+
+        taint = Taint(reaching, lambda e: False, stmt_sources=float_augment)
+        ret = _stmt(reaching, ast.Return)
+        assert "total" in taint.tainted_before(ret)

@@ -1,0 +1,138 @@
+"""SARIF 2.1.0 rendering and validation (``--format sarif``)."""
+
+import json
+import textwrap
+
+from repro.lint import (
+    Baseline,
+    lint_paths,
+    render_sarif,
+    sarif_payload,
+    validate_sarif,
+)
+from repro.lint.sarif import SARIF_VERSION
+
+DIRTY = """
+import random
+
+value = random.random()
+"""
+
+SUPPRESSED = """
+import random
+
+value = random.random()  # repro-lint: disable=R001 fixture reason
+"""
+
+
+def _lint(tmp_path, source, baseline=None, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path], baseline=baseline)
+
+
+class TestRendering:
+    def test_active_finding_becomes_result(self, tmp_path):
+        result = _lint(tmp_path, DIRTY)
+        payload = json.loads(render_sarif(result))
+        assert payload["version"] == SARIF_VERSION
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (item,) = run["results"]
+        assert item["ruleId"] == "R001"
+        assert item["level"] == "error"
+        assert "suppressions" not in item
+        region = item["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_rule_catalog_covers_all_rules(self, tmp_path):
+        result = _lint(tmp_path, DIRTY)
+        payload = sarif_payload(result)
+        rule_ids = {
+            rule["id"]
+            for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        for rule_id in (
+            "R001", "R002", "R003", "R004", "R005",
+            "R006", "R007", "R008", "R009", "R010",
+        ):
+            assert rule_id in rule_ids
+
+    def test_rule_index_points_into_catalog(self, tmp_path):
+        result = _lint(tmp_path, DIRTY)
+        payload = sarif_payload(result)
+        run = payload["runs"][0]
+        (item,) = run["results"]
+        indexed = run["tool"]["driver"]["rules"][item["ruleIndex"]]
+        assert indexed["id"] == item["ruleId"]
+
+    def test_fingerprint_carried(self, tmp_path):
+        result = _lint(tmp_path, DIRTY)
+        payload = sarif_payload(result)
+        (item,) = payload["runs"][0]["results"]
+        assert item["partialFingerprints"]["reproLint/v1"]
+        assert (
+            item["partialFingerprints"]["reproLint/v1"]
+            == result.active[0].fingerprint
+        )
+
+    def test_inline_suppression_marked_in_source(self, tmp_path):
+        result = _lint(tmp_path, SUPPRESSED)
+        payload = sarif_payload(result)
+        (item,) = payload["runs"][0]["results"]
+        assert item["suppressions"] == [{"kind": "inSource"}]
+
+    def test_baselined_marked_external_with_justification(self, tmp_path):
+        first = _lint(tmp_path, DIRTY)
+        baseline = Baseline.from_findings(first.active)
+        baseline.entries[0].reason = "legacy fixture, tracked in #42"
+        result = _lint(tmp_path, DIRTY, baseline=baseline)
+        payload = sarif_payload(
+            result, baseline_reasons=baseline.reasons()
+        )
+        (item,) = payload["runs"][0]["results"]
+        assert item["suppressions"][0]["kind"] == "external"
+        assert (
+            item["suppressions"][0]["justification"]
+            == "legacy fixture, tracked in #42"
+        )
+
+
+class TestValidation:
+    def test_rendered_output_validates(self, tmp_path):
+        result = _lint(tmp_path, DIRTY)
+        payload = json.loads(render_sarif(result))
+        assert validate_sarif(payload) == []
+
+    def test_empty_run_validates(self, tmp_path):
+        result = _lint(tmp_path, "x = 1\n")
+        assert validate_sarif(sarif_payload(result)) == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        payload = sarif_payload(_lint(tmp_path, DIRTY))
+        payload["version"] = "1.0.0"
+        assert validate_sarif(payload)
+
+    def test_missing_message_rejected(self, tmp_path):
+        payload = sarif_payload(_lint(tmp_path, DIRTY))
+        del payload["runs"][0]["results"][0]["message"]
+        assert validate_sarif(payload)
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        payload = sarif_payload(_lint(tmp_path, DIRTY))
+        payload["runs"][0]["results"][0]["ruleId"] = "R999"
+        assert any(
+            "not in driver.rules" in message
+            for message in validate_sarif(payload)
+        )
+
+    def test_structural_fallback_matches_jsonschema(self, tmp_path):
+        from repro.lint.sarif import _structural_errors
+
+        good = sarif_payload(_lint(tmp_path, DIRTY))
+        assert _structural_errors(good) == []
+        bad = sarif_payload(_lint(tmp_path, DIRTY))
+        bad["version"] = "1.0.0"
+        del bad["runs"][0]["results"][0]["message"]
+        assert len(_structural_errors(bad)) >= 2

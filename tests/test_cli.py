@@ -102,9 +102,11 @@ class TestCommands:
         assert "wrote 1 experiment" in capsys.readouterr().out
 
     def test_invalid_parameters_reported(self, capsys):
-        assert main(["bounds", "-k", "1", "-n", "2", "-f", "1"]) == 2
+        # BoundViolation carries its own exit code (see exit_code_for).
+        assert main(["bounds", "-k", "1", "-n", "2", "-f", "1"]) == 9
         err = capsys.readouterr().err
         assert "error:" in err
+        assert "Theorem 5" in err
 
 
 class TestEngineFlags:

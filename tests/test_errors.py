@@ -4,8 +4,11 @@ import pytest
 
 from repro.cli import exit_code_for
 from repro.errors import (
+    BoundViolation,
+    InvalidConfig,
     QuorumUnavailable,
     ReproError,
+    SessionClosed,
     ShardCapacityExceeded,
     StaleShardMap,
     WireDecodeError,
@@ -21,6 +24,9 @@ class TestHierarchy:
         (StaleShardMap, RuntimeError),
         (ShardCapacityExceeded, RuntimeError),
         (WireDecodeError, ValueError),
+        (InvalidConfig, ValueError),
+        (BoundViolation, ValueError),
+        (SessionClosed, RuntimeError),
     ]
 
     @pytest.mark.parametrize("error_class,legacy", CASES)
@@ -49,7 +55,7 @@ class TestExitCodes:
             exit_code_for(error_class("x"))
             for error_class, _ in TestHierarchy.CASES
         ]
-        assert codes == [3, 4, 5, 6, 7]
+        assert codes == [3, 4, 5, 6, 7, 8, 9, 10]
         assert len(set(codes)) == len(codes)
 
     def test_unknown_errors_fall_back_to_generic(self):
@@ -63,3 +69,29 @@ class TestExitCodes:
             decode_request(b"not json\n")
         with pytest.raises(WireDecodeError):
             decode_binary_request(b"\x00garbage")
+
+    def test_config_paths_raise_typed(self):
+        # PR 8 migrations: the compat pattern means pre-existing
+        # ``except ValueError``/``except RuntimeError`` handlers and
+        # pytest.raises assertions keep passing unchanged.
+        from repro.apps.kv import KVConfig, ReplicatedKVStore
+        from repro.apps.shard.config import ShardConfig
+        from repro.core import bounds
+
+        with pytest.raises(InvalidConfig):
+            ShardConfig(substrate="abacus")
+        with pytest.raises(ValueError):  # legacy shape still works
+            ShardConfig(n=1, f=3)
+        with pytest.raises(InvalidConfig):
+            KVConfig(k_writers=0)
+        with pytest.raises(BoundViolation):
+            bounds.register_upper_bound(0, 5, 2)
+        with pytest.raises(ValueError):  # legacy shape still works
+            bounds.min_servers(0)
+        store = ReplicatedKVStore(KVConfig())
+        session = store.session()
+        session.close()
+        with pytest.raises(SessionClosed):
+            session.get("k")
+        with pytest.raises(RuntimeError):  # legacy shape still works
+            session.put("k", "v")
