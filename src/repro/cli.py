@@ -12,6 +12,11 @@ Commands:
 * ``ablate``                  — break Algorithm 2's mechanisms and show
   the resulting WS-Safety violations (one cell per variant).
 * ``experiment <id>``         — regenerate paper tables/figures by id.
+* ``queue <verb>``            — the distributed experiment queue:
+  ``create`` enqueues a grid into a shared sqlite table, ``work`` runs
+  a claim/execute/write-back worker (any number of them, any machine),
+  ``status``/``reset`` inspect and reopen cells, ``export`` renders the
+  finished table (``table|csv|md|latex``).
 * ``demo``                    — a quick write/read/crash walkthrough.
 
 ``experiment``, ``sweep`` and ``ablate`` route through the parallel
@@ -90,6 +95,18 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_export_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.exec.queue import EXPORT_FORMATS
+
+    parser.add_argument(
+        "--export",
+        choices=EXPORT_FORMATS,
+        default="table",
+        help="stdout format for the result table (default: table,"
+        " the classic ASCII rendering)",
+    )
+
+
 def _engine_cache(args) -> "Optional[ResultCache]":
     return None if args.no_cache else ResultCache(args.cache_dir)
 
@@ -121,6 +138,8 @@ def cmd_layout(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.exec.queue import render_export
+
     result, report = run_experiment_grid(
         "TH1",
         {"k": args.k, "f": args.f},
@@ -130,7 +149,7 @@ def cmd_sweep(args) -> int:
         refresh=args.refresh,
         progress=_progress,
     )
-    print(result.render())
+    print(render_export(result, args.export))
     return 1 if report.failed else 0
 
 
@@ -230,8 +249,10 @@ def cmd_experiment(args) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote {len(results)} experiment(s) to {args.json}")
     else:
+        from repro.exec.queue import render_export
+
         for result in results:
-            print(result.render())
+            print(render_export(result, args.export))
             print()
     return 1 if report.failed else 0
 
@@ -603,7 +624,9 @@ def _spawn_shard_node(args, server_index: int, ports=None):
     while len(announced) < args.shards:
         line = proc.stdout.readline()
         if not line:
-            raise RuntimeError(
+            from repro.errors import QuorumUnavailable
+
+            raise QuorumUnavailable(
                 f"serve process for server {server_index} exited before"
                 " announcing its listeners"
             )
@@ -775,6 +798,197 @@ def cmd_loadgen(args) -> int:
     return 0 if ok else 1
 
 
+def _queue_backend(args):
+    from repro.exec.queue import SqliteQueue
+
+    return SqliteQueue(args.db)
+
+
+def _import_modules(args) -> None:
+    """Import extension modules that register extra experiments."""
+    import importlib
+
+    for module in getattr(args, "import_module", None) or ():
+        importlib.import_module(module)
+
+
+def cmd_queue_create(args) -> int:
+    import json
+    import time
+
+    from repro.exec.queue import enqueue_cells
+    from repro.experiments import list_experiments
+
+    _import_modules(args)
+    if args.all:
+        ids = list_experiments()
+    elif args.ids:
+        ids = args.ids
+    else:
+        print(
+            "error: name experiment ids to enqueue (or pass --all)",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = json.loads(args.params) if args.params else {}
+    if args.seeds:
+        seeds: "List[Optional[int]]" = [
+            int(part) for part in args.seeds.split(",") if part.strip()
+        ]
+    else:
+        seeds = [args.seed]
+    cells = []
+    for experiment_id in ids:
+        for seed in seeds:
+            cells.extend(
+                expand_experiment(experiment_id, dict(overrides), seed=seed)
+            )
+    backend = _queue_backend(args)
+    try:
+        added = enqueue_cells(backend, cells)
+        status = backend.status(time.time(), args.ttl)
+    finally:
+        backend.close()
+    print(
+        f"queue {args.db}: enqueued {added} new cell(s),"
+        f" {len(cells) - added} already present"
+    )
+    print(status.summary())
+    return 0
+
+
+def cmd_queue_work(args) -> int:
+    from repro.exec.queue import QueueWorker
+
+    _import_modules(args)
+    backend = _queue_backend(args)
+    try:
+        worker = QueueWorker(
+            backend,
+            worker_id=args.worker_id,
+            cache=_engine_cache(args),
+            refresh=args.refresh,
+            ttl=args.ttl,
+            check_version=not args.no_version_check,
+            progress=_progress,
+        )
+        report = worker.run(max_cells=args.max_cells)
+    finally:
+        backend.close()
+    return 1 if report.failed else 0
+
+
+def cmd_queue_status(args) -> int:
+    import json
+    import time
+
+    backend = _queue_backend(args)
+    try:
+        status = backend.status(time.time(), args.ttl)
+        rows = backend.rows() if args.json else []
+    finally:
+        backend.close()
+    if args.json:
+        payload = {
+            "counts": status.counts,
+            "stale": status.stale,
+            "experiments": status.experiments,
+            "cells": [
+                {
+                    "cell_id": row.cell_id,
+                    "index": row.index,
+                    "experiment_id": row.experiment_id,
+                    "seed": row.seed,
+                    "status": row.status,
+                    "owner": row.owner,
+                    "attempts": row.attempts,
+                    "steps": row.steps,
+                    "elapsed": row.elapsed,
+                    "error": row.error,
+                }
+                for row in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(status.summary())
+    return 0
+
+
+def cmd_queue_reset(args) -> int:
+    import time
+
+    if not (args.stale or args.failed or args.cell):
+        print(
+            "error: pick what to reopen: --stale, --failed and/or"
+            " --cell ID",
+            file=sys.stderr,
+        )
+        return 2
+    backend = _queue_backend(args)
+    try:
+        reopened = backend.reset(
+            stale_before=(time.time() - args.ttl) if args.stale else None,
+            failed=args.failed,
+            cell_ids=args.cell or None,
+        )
+    finally:
+        backend.close()
+    print(f"reopened {len(reopened)} cell(s)")
+    for cell_id in reopened:
+        print(f"  {cell_id}")
+    return 0
+
+
+def cmd_queue_export(args) -> int:
+    from repro.exec.queue import export_queue
+
+    backend = _queue_backend(args)
+    try:
+        rendered = export_queue(
+            backend, fmt=args.export, partial=args.partial
+        )
+    finally:
+        backend.close()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0
+
+
+def _add_queue_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db",
+        required=True,
+        metavar="PATH",
+        help="the shared queue file (any path every worker can reach)",
+    )
+
+
+def _add_queue_ttl(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat time-to-live: claims not renewed for this long"
+        " count as stale (default: 30)",
+    )
+
+
+def _add_import_module(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--import-module",
+        action="append",
+        metavar="MODULE",
+        help="import MODULE first (registers extra experiments;"
+        " repeatable)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -799,6 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_knf(p_sweep, need_n=False)
     _add_seed(p_sweep)
     _add_engine_flags(p_sweep)
+    _add_export_flag(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_lemma1 = sub.add_parser("lemma1", help="run the covering adversary")
@@ -833,6 +1048,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed(p_exp)
     _add_engine_flags(p_exp)
+    _add_export_flag(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_lint = sub.add_parser(
@@ -1136,6 +1352,130 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(p_loadgen, default=0)
     p_loadgen.set_defaults(fn=cmd_loadgen)
 
+    p_queue = sub.add_parser(
+        "queue",
+        help="distributed experiment queue over a shared table",
+    )
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+
+    q_create = queue_sub.add_parser(
+        "create", help="enqueue experiment grids into the shared table"
+    )
+    _add_queue_db(q_create)
+    q_create.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to enqueue (e.g. T1 TH1)",
+    )
+    q_create.add_argument(
+        "--all", action="store_true", help="enqueue every experiment"
+    )
+    _add_seed(q_create)
+    q_create.add_argument(
+        "--seeds",
+        metavar="A,B,C",
+        help="enqueue one replicate grid per seed (overrides --seed)",
+    )
+    q_create.add_argument(
+        "--params",
+        metavar="JSON",
+        help='kwargs overrides as a JSON object (e.g. \'{"k": 3}\')',
+    )
+    _add_queue_ttl(q_create)
+    _add_import_module(q_create)
+    q_create.set_defaults(fn=cmd_queue_create)
+
+    q_work = queue_sub.add_parser(
+        "work", help="claim/execute/write-back until no OPEN cells remain"
+    )
+    _add_queue_db(q_work)
+    q_work.add_argument(
+        "--worker-id",
+        metavar="ID",
+        help="claim owner label (default: hostname-pid)",
+    )
+    q_work.add_argument(
+        "--max-cells",
+        type=int,
+        metavar="N",
+        help="stop after claiming N cells (default: drain the queue)",
+    )
+    _add_queue_ttl(q_work)
+    q_work.add_argument(
+        "--no-version-check",
+        action="store_true",
+        help="execute cells enqueued under a different code fingerprint",
+    )
+    q_work.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the local result cache entirely",
+    )
+    q_work.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute claimed cells even when cached locally",
+    )
+    q_work.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="PATH",
+        help="local result cache root (default: .repro_cache)",
+    )
+    _add_import_module(q_work)
+    q_work.set_defaults(fn=cmd_queue_work)
+
+    q_status = queue_sub.add_parser(
+        "status", help="aggregate counts (and per-cell detail with --json)"
+    )
+    _add_queue_db(q_status)
+    q_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full per-cell table as JSON",
+    )
+    _add_queue_ttl(q_status)
+    q_status.set_defaults(fn=cmd_queue_status)
+
+    q_reset = queue_sub.add_parser(
+        "reset", help="reopen stale claims, failed cells, or exact ids"
+    )
+    _add_queue_db(q_reset)
+    q_reset.add_argument(
+        "--stale",
+        action="store_true",
+        help="reopen claimed cells whose heartbeat exceeded --ttl",
+    )
+    q_reset.add_argument(
+        "--failed", action="store_true", help="reopen failed cells"
+    )
+    q_reset.add_argument(
+        "--cell",
+        action="append",
+        metavar="CELL_ID",
+        help="reopen this exact cell id (repeatable)",
+    )
+    _add_queue_ttl(q_reset)
+    q_reset.set_defaults(fn=cmd_queue_reset)
+
+    q_export = queue_sub.add_parser(
+        "export", help="render the finished table(s) from the queue"
+    )
+    _add_queue_db(q_export)
+    _add_export_flag(q_export)
+    q_export.add_argument(
+        "--partial",
+        action="store_true",
+        help="export even while cells are still open or claimed",
+    )
+    q_export.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    q_export.set_defaults(fn=cmd_queue_export)
+
     return parser
 
 
@@ -1156,6 +1496,13 @@ def exit_code_for(error) -> int:
         (errors.InvalidConfig, 8),
         (errors.BoundViolation, 9),
         (errors.SessionClosed, 10),
+        # subclasses precede QueueError so they keep distinct codes.
+        (errors.CellClaimLost, 12),
+        (errors.CodeVersionMismatch, 13),
+        (errors.QueueError, 11),
+        (errors.GridFailed, 14),
+        (errors.NoMergeableResults, 15),
+        (errors.UnknownExperiment, 16),
     ):
         if isinstance(error, error_class):
             return code

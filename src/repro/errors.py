@@ -89,3 +89,64 @@ class SessionClosed(ReproError, RuntimeError):
     context managers; using one after ``close()`` is a lifecycle bug in
     the caller, distinct from any transient quorum failure.
     """
+
+
+class QueueError(ReproError, RuntimeError):
+    """A distributed experiment queue operation failed.
+
+    Root of the :mod:`repro.exec.queue` failures: schema mismatches on a
+    shared queue file, exporting an undrained queue, invalid lifecycle
+    transitions.  The specific claim-protocol failures below subclass
+    this, so ``except QueueError`` catches the whole family.
+    """
+
+
+class CellClaimLost(QueueError):
+    """A worker's claim on a cell disappeared before write-back.
+
+    The claim CAS (``claimed`` + owner) failed: a stale-claim reset
+    reopened the cell — or another worker already wrote it — while this
+    worker was still executing.  The worker's result is discarded; the
+    queue's copy is whatever the current owner writes.
+    """
+
+
+class CodeVersionMismatch(QueueError):
+    """A worker refused cells enqueued under different experiment code.
+
+    Queue rows record the exec-engine code fingerprint
+    (:func:`repro.exec.cache.experiment_code_version`) they were
+    enqueued with; a worker whose checkout fingerprints differently
+    must not execute them — its results would be silently incomparable,
+    exactly the staleness the ResultCache's versioned keys prevent
+    locally.
+    """
+
+
+class GridFailed(ReproError, RuntimeError):
+    """Every cell of an experiment grid failed.
+
+    Raised by :func:`repro.exec.engine.run_experiment_grid` when no cell
+    produced a result to merge; the per-cell tracebacks ride along in
+    the message.  Partial failures do *not* raise — they merge the
+    survivors and surface in the engine report.
+    """
+
+
+class NoMergeableResults(ReproError, ValueError):
+    """A result merge was attempted with no successful results.
+
+    Raised by :func:`repro.exec.engine.merge_results` when every entry
+    is ``None`` (all shards failed, or the caller filtered everything
+    out) — a caller error distinct from the grid-level
+    :class:`GridFailed`.
+    """
+
+
+class UnknownExperiment(ReproError, ValueError):
+    """An experiment id is not in the registry.
+
+    Raised by :func:`repro.experiments.get_experiment` for ids (and
+    function-name aliases) that resolve to nothing; the message lists
+    the registered ids.
+    """

@@ -14,11 +14,17 @@ parallel, resumable, cached grid runner:
 * :mod:`repro.exec.engine` — :func:`execute_cell` (the single-cell
   path everything routes through), :func:`run_cells` (serial loop or
   crash-tolerant ``ProcessPoolExecutor`` fan-out with streamed per-cell
-  progress), :func:`merge_results` and :func:`run_experiment_grid`.
+  progress), :func:`merge_results` and :func:`run_experiment_grid`
+  (whose ``backend="queue"`` routes the grid through the shared table).
+* :mod:`repro.exec.queue` — the distributed experiment queue: a shared
+  experiment table (:class:`SqliteQueue` behind the
+  :class:`~repro.exec.queue.QueueBackend` protocol) that any number of
+  workers on any machine drain with atomic claim/execute/write-back
+  loops, plus the ``table|csv|md|latex`` result exporter.
 
 The CLI flags ``--jobs`` / ``--no-cache`` / ``--refresh`` /
-``--cache-dir`` on ``repro experiment|sweep|ablate`` are thin wrappers
-over this package.
+``--cache-dir`` / ``--export`` on ``repro experiment|sweep|ablate`` and
+the ``repro queue`` command family are thin wrappers over this package.
 """
 
 from repro.exec.cache import ResultCache, cell_key, experiment_code_version
@@ -27,22 +33,42 @@ from repro.exec.engine import (
     EngineReport,
     execute_cell,
     merge_results,
+    run_cell_payload,
     run_cells,
     run_experiment_grid,
 )
 from repro.exec.grid import Cell, Grid, expand_experiment
+from repro.exec.queue import (
+    QueueBackend,
+    QueueCell,
+    QueueWorker,
+    SqliteQueue,
+    enqueue_cells,
+    export_queue,
+    render_export,
+    run_cells_via_queue,
+)
 
 __all__ = [
     "Cell",
     "CellOutcome",
     "EngineReport",
     "Grid",
+    "QueueBackend",
+    "QueueCell",
+    "QueueWorker",
     "ResultCache",
+    "SqliteQueue",
     "cell_key",
+    "enqueue_cells",
     "execute_cell",
     "expand_experiment",
     "experiment_code_version",
+    "export_queue",
     "merge_results",
+    "render_export",
+    "run_cell_payload",
     "run_cells",
+    "run_cells_via_queue",
     "run_experiment_grid",
 ]

@@ -166,12 +166,12 @@ def execute_cell(
     return CellOutcome(cell, OK, result=result, steps=steps, elapsed=elapsed)
 
 
-def _worker(cell: Cell) -> "Dict[str, Any]":
-    """Pool-worker body: run a cell, return a plain-data payload.
+def run_cell_payload(cell: Cell) -> "Dict[str, Any]":
+    """Run a cell, return a plain-data payload (never raises normally).
 
-    Ordinary exceptions are caught and shipped back as tracebacks; only a
-    process death (crash, ``os._exit``) surfaces to the parent as a
-    broken pool.
+    The body both pool workers and queue workers execute: ordinary
+    exceptions are caught and shipped back as tracebacks; only a process
+    death (crash, ``os._exit``) surfaces to the parent as a broken pool.
     """
     from repro.sim.kernel import steps_simulated
 
@@ -302,7 +302,7 @@ def _run_pool(
             max_workers=jobs, mp_context=_MP_CONTEXT
         ) as pool:
             futures = {
-                pool.submit(_worker, cells[index]): index for index in pending
+                pool.submit(run_cell_payload, cells[index]): index for index in pending
             }
             for future in as_completed(futures):
                 index = futures[future]
@@ -327,7 +327,7 @@ def _run_pool(
             with ProcessPoolExecutor(
                 max_workers=1, mp_context=_MP_CONTEXT
             ) as solo:
-                payload = solo.submit(_worker, cell).result()
+                payload = solo.submit(run_cell_payload, cell).result()
             outcomes[index] = _outcome_from_payload(cell, payload)
         except BrokenProcessPool:
             outcomes[index] = CellOutcome(
@@ -347,11 +347,12 @@ def merge_results(results: "Sequence[Any]"):
     so merging the shards of :func:`expand_experiment` reproduces the
     unsharded experiment's rendering byte-for-byte when nothing failed.
     """
+    from repro.errors import NoMergeableResults
     from repro.experiments import ExperimentResult
 
     survivors = [r for r in results if r is not None]
     if not survivors:
-        raise ValueError("no successful cells to merge")
+        raise NoMergeableResults("no successful cells to merge")
     first = survivors[0]
     if len(survivors) == 1 and len(results) == 1:
         return first
@@ -373,24 +374,86 @@ def run_experiment_grid(
     cache: "Optional[ResultCache]" = None,
     refresh: bool = False,
     progress: "Optional[Callable[[str], None]]" = None,
+    backend: str = "local",
+    queue_path: "Optional[Any]" = None,
 ):
     """Expand one experiment into cells, run them, merge the shards.
 
     Returns ``(merged ExperimentResult, EngineReport)``.  Raises
-    ``RuntimeError`` if every cell failed; partial failures merge the
-    surviving shards and are visible in the report.
+    :class:`~repro.errors.GridFailed` (a ``RuntimeError``) if every
+    cell failed; partial failures merge the surviving shards and are
+    visible in the report.
+
+    ``backend`` picks the execution substrate: ``"local"`` is the
+    serial/``jobs`` pool path above; ``"queue"`` enqueues the cells
+    into a shared experiment table (``queue_path``, an
+    :class:`~repro.exec.queue.SqliteQueue` file — a private temporary
+    one when omitted) and drains it with an in-process
+    :class:`~repro.exec.queue.QueueWorker`.  All three routes produce
+    byte-identical merged tables.
     """
+    from repro.errors import GridFailed, InvalidConfig, NoMergeableResults
+
     cells = expand_experiment(experiment_id, kwargs, seed)
-    report = run_cells(
-        cells, jobs=jobs, cache=cache, refresh=refresh, progress=progress
-    )
+    if backend == "local":
+        report = run_cells(
+            cells, jobs=jobs, cache=cache, refresh=refresh, progress=progress
+        )
+    elif backend == "queue":
+        report = _run_cells_queued(
+            cells,
+            queue_path=queue_path,
+            cache=cache,
+            refresh=refresh,
+            progress=progress,
+        )
+    else:
+        raise InvalidConfig(
+            f"unknown grid backend {backend!r}; known: local, queue"
+        )
     try:
         merged = merge_results(report.results())
-    except ValueError:
+    except NoMergeableResults:
         errors = "\n".join(
             outcome.describe() for outcome in report.failed
         )
-        raise RuntimeError(
+        raise GridFailed(
             f"every cell of {experiment_id!r} failed:\n{errors}"
         ) from None
     return merged, report
+
+
+def _run_cells_queued(
+    cells: "Sequence[Cell]",
+    queue_path: "Optional[Any]" = None,
+    cache: "Optional[ResultCache]" = None,
+    refresh: bool = False,
+    progress: "Optional[Callable[[str], None]]" = None,
+) -> EngineReport:
+    """Drain ``cells`` through a shared experiment table."""
+    import tempfile
+
+    from repro.exec.queue import SqliteQueue, run_cells_via_queue
+
+    if queue_path is None:
+        # A private single-run table: exercises the full queue protocol
+        # (enqueue, CAS claims, write-back) with no shared path needed.
+        with tempfile.TemporaryDirectory(prefix="repro-queue-") as tmp:
+            backend = SqliteQueue(f"{tmp}/queue.sqlite")
+            try:
+                return run_cells_via_queue(
+                    cells,
+                    backend,
+                    cache=cache,
+                    refresh=refresh,
+                    progress=progress,
+                )
+            finally:
+                backend.close()
+    backend = SqliteQueue(queue_path)
+    try:
+        return run_cells_via_queue(
+            cells, backend, cache=cache, refresh=refresh, progress=progress
+        )
+    finally:
+        backend.close()

@@ -1,0 +1,83 @@
+"""The distributed experiment queue: shared-table sweeps.
+
+PR 2's engine parallelizes one box; this package parallelizes *boxes*.
+A grid is enqueued once into a shared experiment table — one row per
+:class:`~repro.exec.grid.Cell`, identified by the same content-hash key
+the local :class:`~repro.exec.cache.ResultCache` uses — and any number
+of workers on any machine run a claim/execute/write-back loop against
+it (py_experimenter's model, adapted to our content-addressed cells):
+
+* :mod:`repro.exec.queue.backend` — the row model
+  (:class:`QueueCell`, ``open|claimed|done|failed``) and the
+  :class:`QueueBackend` protocol every store implements.
+* :mod:`repro.exec.queue.sqlite` — :class:`SqliteQueue`: the
+  shared-file deployment story (atomic CAS claims over one database
+  file on a shared path).
+* :mod:`repro.exec.queue.worker` — :class:`QueueWorker`: the loop,
+  with heartbeat renewal, code-version refusal
+  (:class:`~repro.errors.CodeVersionMismatch`), stolen-claim detection
+  (:class:`~repro.errors.CellClaimLost`) and local-cache write-through.
+* :mod:`repro.exec.queue.export` — per-experiment merge in enqueue
+  order plus ``table|csv|md|latex`` renderers (also backing the
+  ``--export`` flag of local runs) and a pandas bridge.
+
+The CLI face is ``repro queue create|work|status|reset|export``;
+programmatically, ``run_experiment_grid(..., backend="queue")`` routes
+a grid through a queue and returns the identical merged table.
+"""
+
+from repro.exec.queue.backend import (
+    CLAIMED,
+    DONE,
+    FAILED,
+    OPEN,
+    STATUSES,
+    QueueBackend,
+    QueueCell,
+    QueueStatus,
+    cell_to_row,
+)
+from repro.exec.queue.export import (
+    EXPORT_FORMATS,
+    export_queue,
+    merged_queue_results,
+    render_csv,
+    render_export,
+    render_latex,
+    render_markdown,
+    to_dataframe,
+)
+from repro.exec.queue.sqlite import SqliteQueue
+from repro.exec.queue.worker import (
+    QueueWorker,
+    WorkerReport,
+    default_worker_id,
+    enqueue_cells,
+    run_cells_via_queue,
+)
+
+__all__ = [
+    "CLAIMED",
+    "DONE",
+    "EXPORT_FORMATS",
+    "FAILED",
+    "OPEN",
+    "STATUSES",
+    "QueueBackend",
+    "QueueCell",
+    "QueueStatus",
+    "QueueWorker",
+    "SqliteQueue",
+    "WorkerReport",
+    "cell_to_row",
+    "default_worker_id",
+    "enqueue_cells",
+    "export_queue",
+    "merged_queue_results",
+    "render_csv",
+    "render_export",
+    "render_latex",
+    "render_markdown",
+    "run_cells_via_queue",
+    "to_dataframe",
+]

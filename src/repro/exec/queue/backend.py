@@ -1,0 +1,244 @@
+"""The shared experiment table: row model and backend protocol.
+
+A queue is a table with one row per :class:`~repro.exec.grid.Cell`.
+Rows are identified by the cell's content hash — the *same* key the
+local :class:`~repro.exec.cache.ResultCache` uses — so a finished
+distributed sweep doubles as a portable result archive, and a worker
+that already holds a cell's result locally can write it back without
+re-running anything.
+
+The row lifecycle is ``open -> claimed -> done | failed``; ``reset``
+moves ``failed`` rows (and ``claimed`` rows whose owner stopped
+heartbeating) back to ``open``.  Every transition is a compare-and-swap
+predicated on the *current* status (and, past the claim, on the owner),
+so two workers racing for one cell resolve to exactly one winner and a
+worker whose claim was stolen by a reset cannot overwrite the thief's
+result — it gets :class:`~repro.errors.CellClaimLost` instead.
+
+:class:`QueueBackend` is the seam other stores plug into (MySQL /
+postgres later); :class:`~repro.exec.queue.sqlite.SqliteQueue` is the
+shared-file implementation everything ships with.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.grid import Cell
+
+#: row lifecycle states.
+OPEN, CLAIMED, DONE, FAILED = "open", "claimed", "done", "failed"
+
+#: every state, in lifecycle order (status displays follow this order).
+STATUSES = (OPEN, CLAIMED, DONE, FAILED)
+
+
+@dataclass
+class QueueCell:
+    """One row of the shared experiment table."""
+
+    cell_id: str  # content hash == the ResultCache key
+    index: int  # enqueue position: the deterministic merge order
+    experiment_id: str
+    params_json: str  # JSON object of the cell's kwargs (no seed)
+    seed: "Optional[int]"
+    code_version: str  # exec-engine fingerprint at enqueue time
+    status: str = OPEN
+    owner: "Optional[str]" = None
+    heartbeat: "Optional[float]" = None  # unix time of the last renewal
+    claimed_at: "Optional[float]" = None
+    finished_at: "Optional[float]" = None
+    attempts: int = 0  # successful claims so far
+    steps: int = 0  # kernel steps the executing worker simulated
+    elapsed: float = 0.0  # wall-clock seconds of the execution
+    result_json: "Optional[str]" = None  # ExperimentResult.to_dict JSON
+    error: "Optional[str]" = None  # traceback text on FAILED
+
+    def cell(self) -> Cell:
+        """Rebuild the engine cell this row was enqueued from.
+
+        ``Cell.make`` re-freezes the JSON-decoded params (lists become
+        tuples again), so the rebuilt cell hashes to the same
+        :func:`~repro.exec.cache.cell_key` the row was enqueued under.
+        """
+        return Cell.make(
+            self.experiment_id, json.loads(self.params_json), self.seed
+        )
+
+    def result_payload(self) -> "Optional[Dict[str, Any]]":
+        """The archived result payload (cache-shaped), if DONE."""
+        if self.result_json is None:
+            return None
+        payload: "Dict[str, Any]" = json.loads(self.result_json)
+        return payload
+
+    def describe(self) -> str:
+        label = self.cell().describe()
+        extra = f" [{self.status}"
+        if self.owner:
+            extra += f" by {self.owner}"
+        return f"{label}{extra}]"
+
+
+def cell_to_row(
+    cell: Cell, index: int, code_version: str
+) -> QueueCell:
+    """Build the OPEN row for one engine cell.
+
+    The params must survive a JSON round trip (the queue ships them to
+    workers on other machines as text); cells built from CLI-style
+    primitives always do.
+    """
+    from repro.errors import InvalidConfig
+    from repro.exec.cache import cell_key
+
+    try:
+        params_json = json.dumps(cell.kwargs, sort_keys=True)
+    except TypeError as error:
+        raise InvalidConfig(
+            f"queue cells need JSON-representable params;"
+            f" {cell.describe()} does not round-trip: {error}"
+        ) from None
+    rebuilt = Cell.make(cell.experiment_id, json.loads(params_json), cell.seed)
+    if rebuilt != cell:
+        raise InvalidConfig(
+            f"cell params do not survive a JSON round trip:"
+            f" {cell.describe()} != {rebuilt.describe()}"
+        )
+    return QueueCell(
+        cell_id=cell_key(cell, code_version),
+        index=index,
+        experiment_id=cell.experiment_id,
+        params_json=params_json,
+        seed=cell.seed,
+        code_version=code_version,
+    )
+
+
+@dataclass
+class QueueStatus:
+    """Aggregate view of a queue (``repro queue status``)."""
+
+    counts: "Dict[str, int]" = field(default_factory=dict)
+    stale: int = 0  # claimed rows whose heartbeat expired
+    experiments: "List[str]" = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def remaining(self) -> int:
+        return self.counts.get(OPEN, 0) + self.counts.get(CLAIMED, 0)
+
+    def summary(self) -> str:
+        parts = [
+            f"{status}={self.counts.get(status, 0)}" for status in STATUSES
+        ]
+        return (
+            f"queue: cells={self.total} {' '.join(parts)}"
+            f" stale={self.stale}"
+            f" experiments={','.join(self.experiments) or '-'}"
+        )
+
+
+class QueueBackend:
+    """Protocol of the shared experiment table.
+
+    Implementations must make :meth:`try_claim` and :meth:`write_back`
+    atomic compare-and-swap transitions (one conditional ``UPDATE``),
+    because they are the only thing standing between two workers and a
+    double-executed cell.  Reads may be stale; CAS failures are the
+    truth.
+
+    This is a plain base class rather than ``typing.Protocol`` so the
+    shared helpers (:meth:`drained`) ride along; backends override the
+    primitives.
+    """
+
+    def enqueue(self, rows: "Sequence[QueueCell]") -> int:
+        """Insert rows, ignoring cell_ids already present; count added."""
+        raise NotImplementedError
+
+    def next_open(self, limit: int = 1) -> "List[QueueCell]":
+        """Up to ``limit`` OPEN rows in index order (claim candidates)."""
+        raise NotImplementedError
+
+    def try_claim(self, cell_id: str, owner: str, now: float) -> bool:
+        """CAS ``open -> claimed`` for ``owner``; False if lost the race."""
+        raise NotImplementedError
+
+    def renew_heartbeat(self, cell_id: str, owner: str, now: float) -> bool:
+        """Refresh the claim heartbeat; False if the claim is gone."""
+        raise NotImplementedError
+
+    def write_back(
+        self,
+        cell_id: str,
+        owner: str,
+        status: str,
+        now: float,
+        result_json: "Optional[str]" = None,
+        error: "Optional[str]" = None,
+        steps: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        """CAS ``claimed -> done|failed``; raises
+        :class:`~repro.errors.CellClaimLost` if the claim was stolen."""
+        raise NotImplementedError
+
+    def reset(
+        self,
+        stale_before: "Optional[float]" = None,
+        failed: bool = False,
+        cell_ids: "Optional[Sequence[str]]" = None,
+    ) -> "List[str]":
+        """Reopen rows; returns the cell_ids transitioned back to OPEN.
+
+        ``stale_before`` reopens CLAIMED rows whose heartbeat is older
+        than the cutoff (dead workers); ``failed`` reopens FAILED rows;
+        ``cell_ids`` reopens those exact rows whatever their state
+        (except OPEN, which is a no-op).
+        """
+        raise NotImplementedError
+
+    def rows(self, status: "Optional[str]" = None) -> "List[QueueCell]":
+        """Every row (optionally filtered), in index order."""
+        raise NotImplementedError
+
+    def get(self, cell_id: str) -> "Optional[QueueCell]":
+        raise NotImplementedError
+
+    def status(self, now: float, ttl: float) -> QueueStatus:
+        """Aggregate counts; ``ttl`` defines heartbeat staleness."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the underlying store handle."""
+
+    # -- shared helpers -------------------------------------------------
+
+    def drained(self) -> bool:
+        """True when no row is OPEN or CLAIMED (the grid is finished)."""
+        counts = {}
+        for row in self.rows():
+            counts[row.status] = counts.get(row.status, 0) + 1
+        return counts.get(OPEN, 0) == 0 and counts.get(CLAIMED, 0) == 0
+
+
+def reopened(row: QueueCell) -> QueueCell:
+    """The OPEN version of a row (what reset writes back)."""
+    return replace(
+        row,
+        status=OPEN,
+        owner=None,
+        heartbeat=None,
+        claimed_at=None,
+        finished_at=None,
+        steps=0,
+        elapsed=0.0,
+        result_json=None,
+        error=None,
+    )

@@ -1,0 +1,347 @@
+"""SQLite implementation of the shared experiment table.
+
+One database file on a shared path (NFS mount, shared volume, or just a
+local directory for single-box multi-process runs) is the whole
+deployment story: every worker opens the same file, and SQLite's
+file-level locking plus single-statement ``UPDATE ... WHERE status=?``
+transitions give us the atomic claims the protocol demands.
+
+Concurrency notes:
+
+* The connection is opened in autocommit mode; every single-statement
+  mutation is atomic on its own, and the multi-statement operations
+  (:meth:`reset`) take ``BEGIN IMMEDIATE`` so the select-then-update
+  pair holds the write lock throughout.
+* ``busy_timeout`` makes concurrent writers queue instead of erroring.
+* WAL journaling is attempted (readers don't block the writer on local
+  disks) but failure to switch is tolerated — some network filesystems
+  refuse WAL, and rollback journaling is still correct there.
+* One connection may be shared across threads (the worker's heartbeat
+  thread renews through the same handle): an internal lock serializes
+  statements.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CellClaimLost, QueueError
+from repro.exec.queue.backend import (
+    CLAIMED,
+    DONE,
+    FAILED,
+    OPEN,
+    STATUSES,
+    QueueBackend,
+    QueueCell,
+    QueueStatus,
+)
+
+#: bump on schema changes; a mismatched file refuses to open.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS queue_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    cell_id       TEXT PRIMARY KEY,
+    cell_index    INTEGER NOT NULL,
+    experiment_id TEXT NOT NULL,
+    params_json   TEXT NOT NULL,
+    seed          INTEGER,
+    code_version  TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'open',
+    owner         TEXT,
+    heartbeat     REAL,
+    claimed_at    REAL,
+    finished_at   REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    steps         INTEGER NOT NULL DEFAULT 0,
+    elapsed       REAL NOT NULL DEFAULT 0.0,
+    result_json   TEXT,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS cells_status_index
+    ON cells (status, cell_index);
+"""
+
+_COLUMNS = (
+    "cell_id, cell_index, experiment_id, params_json, seed, code_version,"
+    " status, owner, heartbeat, claimed_at, finished_at, attempts, steps,"
+    " elapsed, result_json, error"
+)
+
+
+def _row_to_cell(row: "Tuple[Any, ...]") -> QueueCell:
+    return QueueCell(
+        cell_id=row[0],
+        index=row[1],
+        experiment_id=row[2],
+        params_json=row[3],
+        seed=row[4],
+        code_version=row[5],
+        status=row[6],
+        owner=row[7],
+        heartbeat=row[8],
+        claimed_at=row[9],
+        finished_at=row[10],
+        attempts=row[11],
+        steps=row[12],
+        elapsed=row[13],
+        result_json=row[14],
+        error=row[15],
+    )
+
+
+class SqliteQueue(QueueBackend):
+    """The shared experiment table over one SQLite file."""
+
+    def __init__(
+        self,
+        path: "Union[str, os.PathLike]",
+        busy_timeout: float = 30.0,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # check_same_thread=False + _lock: the heartbeat thread shares
+        # this handle (each statement is serialized below).
+        self._conn = sqlite3.connect(
+            str(self.path),
+            timeout=busy_timeout,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit BEGIN where needed
+        )
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}"
+            )
+            try:
+                self._conn.execute("PRAGMA journal_mode = WAL")
+            except sqlite3.OperationalError:  # pragma: no cover — odd FS
+                pass
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO queue_meta (key, value)"
+                " VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            cursor = self._conn.execute(
+                "SELECT value FROM queue_meta WHERE key = 'schema_version'"
+            )
+            found = int(cursor.fetchone()[0])
+        if found != SCHEMA_VERSION:
+            raise QueueError(
+                f"queue file {self.path} has schema version {found};"
+                f" this build speaks {SCHEMA_VERSION}"
+            )
+
+    # -- primitives -----------------------------------------------------
+
+    def enqueue(self, rows: "Sequence[QueueCell]") -> int:
+        added = 0
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for row in rows:
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO cells"
+                        " (cell_id, cell_index, experiment_id, params_json,"
+                        "  seed, code_version, status)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            row.cell_id,
+                            row.index,
+                            row.experiment_id,
+                            row.params_json,
+                            row.seed,
+                            row.code_version,
+                            OPEN,
+                        ),
+                    )
+                    added += cursor.rowcount
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return added
+
+    def next_open(self, limit: int = 1) -> "List[QueueCell]":
+        with self._lock:
+            cursor = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM cells WHERE status = ?"
+                " ORDER BY cell_index LIMIT ?",
+                (OPEN, limit),
+            )
+            return [_row_to_cell(row) for row in cursor.fetchall()]
+
+    def try_claim(self, cell_id: str, owner: str, now: float) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE cells SET status = ?, owner = ?, heartbeat = ?,"
+                " claimed_at = ?, attempts = attempts + 1, error = NULL"
+                " WHERE cell_id = ? AND status = ?",
+                (CLAIMED, owner, now, now, cell_id, OPEN),
+            )
+            return cursor.rowcount == 1
+
+    def renew_heartbeat(self, cell_id: str, owner: str, now: float) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE cells SET heartbeat = ?"
+                " WHERE cell_id = ? AND status = ? AND owner = ?",
+                (now, cell_id, CLAIMED, owner),
+            )
+            return cursor.rowcount == 1
+
+    def write_back(
+        self,
+        cell_id: str,
+        owner: str,
+        status: str,
+        now: float,
+        result_json: "Optional[str]" = None,
+        error: "Optional[str]" = None,
+        steps: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        if status not in (DONE, FAILED):
+            raise QueueError(
+                f"write_back targets 'done' or 'failed', not {status!r}"
+            )
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE cells SET status = ?, finished_at = ?, steps = ?,"
+                " elapsed = ?, result_json = ?, error = ?"
+                " WHERE cell_id = ? AND status = ? AND owner = ?",
+                (
+                    status,
+                    now,
+                    steps,
+                    elapsed,
+                    result_json,
+                    error,
+                    cell_id,
+                    CLAIMED,
+                    owner,
+                ),
+            )
+            if cursor.rowcount == 1:
+                return
+        row = self.get(cell_id)
+        state = (
+            f"now {row.status}"
+            + (f" (owner {row.owner})" if row.owner else "")
+            if row is not None
+            else "no longer in the queue"
+        )
+        raise CellClaimLost(
+            f"claim on cell {cell_id[:12]}… was lost before write-back:"
+            f" {state}; the result was discarded"
+        )
+
+    def reset(
+        self,
+        stale_before: "Optional[float]" = None,
+        failed: bool = False,
+        cell_ids: "Optional[Sequence[str]]" = None,
+    ) -> "List[str]":
+        reopened: "List[str]" = []
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                if stale_before is not None:
+                    reopened += self._reset_where(
+                        "status = ? AND heartbeat < ?",
+                        (CLAIMED, stale_before),
+                    )
+                if failed:
+                    reopened += self._reset_where("status = ?", (FAILED,))
+                for cell_id in cell_ids or ():
+                    reopened += self._reset_where(
+                        "cell_id = ? AND status != ?", (cell_id, OPEN)
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return reopened
+
+    def _reset_where(
+        self, predicate: str, args: "Tuple[Any, ...]"
+    ) -> "List[str]":
+        """Reopen rows matching ``predicate`` (caller holds the lock and
+        an IMMEDIATE transaction, so select+update cannot race)."""
+        cursor = self._conn.execute(
+            f"SELECT cell_id FROM cells WHERE {predicate}"
+            " ORDER BY cell_index",
+            args,
+        )
+        ids = [row[0] for row in cursor.fetchall()]
+        for cell_id in ids:
+            self._conn.execute(
+                "UPDATE cells SET status = ?, owner = NULL,"
+                " heartbeat = NULL, claimed_at = NULL, finished_at = NULL,"
+                " steps = 0, elapsed = 0.0, result_json = NULL,"
+                " error = NULL"
+                " WHERE cell_id = ?",
+                (OPEN, cell_id),
+            )
+        return ids
+
+    # -- reads ----------------------------------------------------------
+
+    def rows(self, status: "Optional[str]" = None) -> "List[QueueCell]":
+        query = f"SELECT {_COLUMNS} FROM cells"
+        args: "Tuple[Any, ...]" = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            args = (status,)
+        query += " ORDER BY cell_index"
+        with self._lock:
+            cursor = self._conn.execute(query, args)
+            return [_row_to_cell(row) for row in cursor.fetchall()]
+
+    def get(self, cell_id: str) -> "Optional[QueueCell]":
+        with self._lock:
+            cursor = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM cells WHERE cell_id = ?",
+                (cell_id,),
+            )
+            row = cursor.fetchone()
+        return _row_to_cell(row) if row is not None else None
+
+    def status(self, now: float, ttl: float) -> QueueStatus:
+        with self._lock:
+            counts = dict(
+                self._conn.execute(
+                    "SELECT status, COUNT(*) FROM cells GROUP BY status"
+                ).fetchall()
+            )
+            stale = self._conn.execute(
+                "SELECT COUNT(*) FROM cells"
+                " WHERE status = ? AND heartbeat < ?",
+                (CLAIMED, now - ttl),
+            ).fetchone()[0]
+            experiments = [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT DISTINCT experiment_id FROM cells"
+                    " ORDER BY experiment_id"
+                ).fetchall()
+            ]
+        return QueueStatus(
+            counts={status: counts.get(status, 0) for status in STATUSES},
+            stale=stale,
+            experiments=experiments,
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

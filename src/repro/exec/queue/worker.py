@@ -1,0 +1,405 @@
+"""The queue worker: claim -> execute -> write-back, with heartbeats.
+
+A worker is a loop over the shared table: pick the lowest-index OPEN
+row, win it with a compare-and-swap claim, execute the cell with the
+exact single-cell code path the local engine uses
+(:func:`repro.exec.engine.run_cell_payload`), and CAS the result back.
+While a cell executes, a daemon thread renews the claim's heartbeat
+through the same backend handle, so a live worker on a slow cell is
+distinguishable from a dead one — ``repro queue reset --stale`` only
+reopens claims whose heartbeat actually expired.
+
+Workers carry the local :class:`~repro.exec.cache.ResultCache` both
+ways: a cell whose result is already cached locally is written back
+without simulating a step, and every executed result is stored locally
+on write-back — after a distributed sweep finishes, *each* worker's
+cache replays its share with zero kernel steps, and any box that runs
+``repro queue export`` holds the full table.
+
+Version safety: every row records the exec-engine code fingerprint it
+was enqueued under (:func:`~repro.exec.cache.experiment_code_version`).
+A worker whose checkout fingerprints differently refuses to claim the
+row with :class:`~repro.errors.CodeVersionMismatch` — the distributed
+mirror of the cache's versioned keys, so a stale worker can never write
+a stale result into a fresh table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import CellClaimLost, CodeVersionMismatch, QueueError
+from repro.exec.cache import ResultCache, cell_key, experiment_code_version
+from repro.exec.grid import Cell
+from repro.exec.queue.backend import (
+    DONE,
+    FAILED,
+    QueueBackend,
+    QueueCell,
+    cell_to_row,
+)
+
+#: how many OPEN rows a worker reads per claim attempt; losing a CAS
+#: race falls through to the next candidate instead of re-querying.
+CLAIM_BATCH = 8
+
+
+def default_worker_id() -> str:
+    """hostname-pid: unique across the boxes sharing one queue file."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`QueueWorker.run` invocation did."""
+
+    worker_id: str
+    claimed: int = 0
+    done: int = 0
+    failed: int = 0
+    lost: int = 0  # claims stolen before write-back (results discarded)
+    cache_hits: int = 0  # cells served from the local ResultCache
+    steps: int = 0
+    elapsed: float = 0.0
+    outcomes: "Dict[str, object]" = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker_id}: claimed={self.claimed}"
+            f" done={self.done} failed={self.failed} lost={self.lost}"
+            f" cache_hits={self.cache_hits} steps={self.steps}"
+            f" elapsed={self.elapsed:.2f}s"
+        )
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one claim's heartbeat until stopped."""
+
+    def __init__(
+        self,
+        backend: QueueBackend,
+        cell_id: str,
+        owner: str,
+        interval: float,
+        clock: "Callable[[], float]",
+    ):
+        super().__init__(daemon=True)
+        self._backend = backend
+        self._cell_id = cell_id
+        self._owner = owner
+        self._interval = interval
+        self._clock = clock
+        # not "_stop": Thread.join() calls a private _stop() internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval):
+            if not self._backend.renew_heartbeat(
+                self._cell_id, self._owner, self._clock()
+            ):
+                return  # claim gone; write-back will surface the loss
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+
+class QueueWorker:
+    """One claim/execute/write-back loop over a shared experiment table.
+
+    ``ttl`` is the heartbeat contract: the worker renews every
+    ``ttl / 4`` seconds, and anything that stops renewing for ``ttl``
+    is fair game for ``reset --stale``.  ``check_version=False`` skips
+    the code-fingerprint guard (for tooling that knowingly replays old
+    tables).
+    """
+
+    def __init__(
+        self,
+        backend: QueueBackend,
+        worker_id: "Optional[str]" = None,
+        cache: "Optional[ResultCache]" = None,
+        refresh: bool = False,
+        ttl: float = 30.0,
+        check_version: bool = True,
+        progress: "Optional[Callable[[str], None]]" = None,
+        clock: "Callable[[], float]" = time.time,
+    ):
+        if ttl <= 0:
+            raise QueueError(f"heartbeat ttl must be positive, got {ttl}")
+        self.backend = backend
+        self.worker_id = worker_id or default_worker_id()
+        self.cache = cache
+        self.refresh = refresh
+        self.ttl = ttl
+        self.check_version = check_version
+        self.clock = clock
+        self._emit = progress or (lambda message: None)
+
+    # -- the loop -------------------------------------------------------
+
+    def run(self, max_cells: "Optional[int]" = None) -> WorkerReport:
+        """Claim and execute cells until the queue has no OPEN rows
+        (or ``max_cells`` cells were claimed); returns the tally."""
+        report = WorkerReport(worker_id=self.worker_id)
+        started = time.perf_counter()
+        while max_cells is None or report.claimed < max_cells:
+            row = self._claim_one()
+            if row is None:
+                break
+            report.claimed += 1
+            self._execute(row, report)
+        report.elapsed = time.perf_counter() - started
+        self._emit(report.summary())
+        return report
+
+    def _claim_one(self) -> "Optional[QueueCell]":
+        """Win one OPEN row, or None when none remain."""
+        while True:
+            candidates = self.backend.next_open(limit=CLAIM_BATCH)
+            if not candidates:
+                return None
+            for row in candidates:
+                self._check_version(row)
+                if self.backend.try_claim(
+                    row.cell_id, self.worker_id, self.clock()
+                ):
+                    return row
+            # Every candidate was claimed between the read and our CAS;
+            # re-read — either more rows are open or the queue drained.
+
+    def _check_version(self, row: QueueCell) -> None:
+        if not self.check_version:
+            return
+        local = experiment_code_version(row.experiment_id)
+        if local != row.code_version:
+            raise CodeVersionMismatch(
+                f"cell {row.cell_id[:12]}… of {row.experiment_id!r} was"
+                f" enqueued under code version {row.code_version[:12]}…"
+                f" but this worker runs {local[:12]}…; update the worker"
+                " checkout (or re-create the queue, or pass"
+                " --no-version-check to knowingly ignore the skew)"
+            )
+
+    def _execute(self, row: QueueCell, report: WorkerReport) -> None:
+        from repro.exec.engine import CACHED, OK, run_cell_payload
+
+        cell = row.cell()
+        payload: "Optional[dict]" = None
+        from_cache = False
+        if self.cache is not None and not self.refresh:
+            archived = self.cache.load(cell)
+            if archived is not None:
+                payload = {
+                    "ok": True,
+                    "result": archived["result"],
+                    "steps": 0,
+                    "elapsed": 0.0,
+                }
+                from_cache = True
+        if payload is None:
+            heartbeat = _Heartbeat(
+                self.backend,
+                row.cell_id,
+                self.worker_id,
+                interval=max(self.ttl / 4.0, 0.05),
+                clock=self.clock,
+            )
+            heartbeat.start()
+            try:
+                payload = run_cell_payload(cell)
+            finally:
+                heartbeat.stop()
+        try:
+            self._write_back(row, cell, payload, from_cache)
+        except CellClaimLost as error:
+            report.lost += 1
+            self._emit(f"{cell.describe()}: {error}")
+            return
+        if payload["ok"]:
+            report.done += 1
+            report.steps += payload.get("steps", 0)
+            if from_cache:
+                report.cache_hits += 1
+            status, error_text = (CACHED if from_cache else OK), None
+        else:
+            report.failed += 1
+            status, error_text = FAILED, payload["error"]
+        from repro.exec.engine import CellOutcome
+
+        outcome = CellOutcome(
+            cell,
+            status,
+            result=self._result_of(payload),
+            error=error_text,
+            steps=payload.get("steps", 0),
+            elapsed=payload.get("elapsed", 0.0),
+        )
+        report.outcomes[row.cell_id] = outcome
+        self._emit(outcome.describe())
+
+    def _write_back(
+        self,
+        row: QueueCell,
+        cell: Cell,
+        payload: dict,
+        from_cache: bool,
+    ) -> None:
+        """CAS the outcome into the table; mirror successes into the
+        local cache so this box replays the cell with zero steps."""
+        now = self.clock()
+        if payload["ok"]:
+            archive = {
+                "result": payload["result"],
+                "steps": payload.get("steps", 0),
+                "elapsed": payload.get("elapsed", 0.0),
+                "cell": cell.describe(),
+            }
+            self.backend.write_back(
+                row.cell_id,
+                self.worker_id,
+                DONE,
+                now,
+                result_json=json.dumps(archive, sort_keys=True),
+                steps=payload.get("steps", 0),
+                elapsed=payload.get("elapsed", 0.0),
+            )
+            if self.cache is not None and not from_cache:
+                self.cache.store(cell, archive)
+        else:
+            self.backend.write_back(
+                row.cell_id,
+                self.worker_id,
+                FAILED,
+                now,
+                error=payload["error"],
+                elapsed=payload.get("elapsed", 0.0),
+            )
+
+    def _result_of(self, payload: dict):
+        if not payload["ok"]:
+            return None
+        from repro.experiments import ExperimentResult
+
+        return ExperimentResult.from_dict(payload["result"])
+
+
+# ---------------------------------------------------------------------------
+# Enqueue + in-process drain (the engine's backend="queue" path)
+
+
+def enqueue_cells(
+    backend: QueueBackend, cells: "Sequence[Cell]"
+) -> int:
+    """Append ``cells`` as OPEN rows (idempotent: present ids are kept).
+
+    Rows are numbered after the existing tail, so a queue fed several
+    grids exports each one's cells in its own enqueue order.
+    """
+    existing = backend.rows()
+    base = (max(row.index for row in existing) + 1) if existing else 0
+    rows = []
+    seen = {row.cell_id for row in existing}
+    for cell in cells:
+        row = cell_to_row(
+            cell,
+            base + len(rows),
+            experiment_code_version(cell.experiment_id),
+        )
+        if row.cell_id in seen:
+            continue
+        seen.add(row.cell_id)
+        rows.append(row)
+    return backend.enqueue(rows)
+
+
+def run_cells_via_queue(
+    cells: "Sequence[Cell]",
+    backend: QueueBackend,
+    cache: "Optional[ResultCache]" = None,
+    refresh: bool = False,
+    progress: "Optional[Callable[[str], None]]" = None,
+    worker: "Optional[QueueWorker]" = None,
+    poll: float = 0.2,
+    drain_timeout: "Optional[float]" = None,
+):
+    """Enqueue ``cells``, drain the queue in-process, report like
+    :func:`repro.exec.engine.run_cells`.
+
+    Cells another worker already finished come back ``cached`` (their
+    archived result is read straight off the table); cells claimed by a
+    *live* foreign worker are waited on until the queue drains (bounded
+    by ``drain_timeout``).  The outcome list is in input-cell order, so
+    the merged table is byte-identical to the serial engine's.
+    """
+    from repro.exec.engine import CACHED, CellOutcome, EngineReport
+    from repro.experiments import ExperimentResult
+
+    started = time.perf_counter()
+    enqueue_cells(backend, cells)
+    if worker is None:
+        worker = QueueWorker(
+            backend, cache=cache, refresh=refresh, progress=progress
+        )
+    report = worker.run()
+
+    deadline = (
+        None if drain_timeout is None else time.monotonic() + drain_timeout
+    )
+    while not backend.drained():
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueueError(
+                "queue did not drain within the timeout; another worker"
+                " holds a claim (reset stale claims with"
+                " `repro queue reset --stale`)"
+            )
+        time.sleep(poll)
+        extra = worker.run()  # stale resets may have reopened rows
+        for key, outcome in extra.outcomes.items():
+            report.outcomes.setdefault(key, outcome)
+
+    by_id = {row.cell_id: row for row in backend.rows()}
+    outcomes: "List[CellOutcome]" = []
+    for cell in cells:
+        key = cell_key(cell, experiment_code_version(cell.experiment_id))
+        ours = report.outcomes.get(key)
+        if ours is not None:
+            outcomes.append(ours)  # type: ignore[arg-type]
+            continue
+        row = by_id.get(key)
+        if row is None:
+            raise QueueError(
+                f"cell {cell.describe()} vanished from the queue"
+            )
+        archive = row.result_payload()
+        if row.status == DONE and archive is not None:
+            outcomes.append(
+                CellOutcome(
+                    cell,
+                    CACHED,
+                    result=ExperimentResult.from_dict(archive["result"]),
+                    steps=0,
+                    elapsed=0.0,
+                )
+            )
+        else:
+            outcomes.append(
+                CellOutcome(
+                    cell,
+                    FAILED,
+                    error=row.error or f"cell ended {row.status}",
+                    elapsed=row.elapsed,
+                )
+            )
+    return EngineReport(
+        outcomes=outcomes,
+        elapsed=time.perf_counter() - started,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )

@@ -113,13 +113,15 @@ def list_experiments() -> "List[str]":
 
 def get_experiment(experiment_id: str) -> "Callable[..., ExperimentResult]":
     """Resolve a registry id (or a function-name alias) to its callable."""
+    from repro.errors import UnknownExperiment
+
     fn = _REGISTRY.get(experiment_id)
     if fn is None:
         # Accept the function name as an alias: ``table1_sweep`` == T1-sweep.
         for candidate in _REGISTRY.values():
             if candidate.__name__ == experiment_id:
                 return candidate
-        raise ValueError(
+        raise UnknownExperiment(
             f"unknown experiment {experiment_id!r};"
             f" known: {', '.join(list_experiments())}"
         )
@@ -587,7 +589,9 @@ def ablations(
         try:
             name, fn_name = _ABLATION_VARIANTS[variant]
         except KeyError:
-            raise ValueError(
+            from repro.errors import InvalidConfig
+
+            raise InvalidConfig(
                 f"unknown ablation variant {variant!r};"
                 f" known: {', '.join(_ABLATION_VARIANTS)}"
             ) from None

@@ -1,0 +1,237 @@
+"""The shared experiment table: rows, CAS transitions, resets."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.errors import CellClaimLost, InvalidConfig, QueueError
+from repro.exec.cache import cell_key, experiment_code_version
+from repro.exec.grid import Cell, expand_experiment
+from repro.exec.queue import (
+    CLAIMED,
+    DONE,
+    FAILED,
+    OPEN,
+    SqliteQueue,
+    cell_to_row,
+    enqueue_cells,
+)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    backend = SqliteQueue(tmp_path / "q.db")
+    yield backend
+    backend.close()
+
+
+def _cells():
+    return expand_experiment("TH1", {"k": 3, "f": 1})
+
+
+class TestRowModel:
+    def test_cell_id_is_the_result_cache_key(self):
+        cell = _cells()[0]
+        version = experiment_code_version(cell.experiment_id)
+        row = cell_to_row(cell, 0, version)
+        assert row.cell_id == cell_key(cell, version)
+
+    def test_row_cell_round_trips_to_the_same_hash(self):
+        # JSON turns tuples into lists; Cell.make re-freezes them, so
+        # the rebuilt cell must be == and hash-identical.
+        cell = Cell.make("T1-sweep", {"n": 5, "f": 2, "k_values": [1, 2]})
+        row = cell_to_row(cell, 0, "v0")
+        assert row.cell() == cell
+        assert cell_key(row.cell(), "v0") == row.cell_id
+
+    def test_non_json_params_rejected_eagerly(self):
+        cell = Cell.make("T1", {"k": 2})
+        bad = Cell(cell.experiment_id, (("fn", print),), None)
+        with pytest.raises(InvalidConfig):
+            cell_to_row(bad, 0, "v0")
+
+    def test_seed_rides_along(self):
+        cell = Cell.make("TH2", {"k_values": [2]}, seed=7)
+        row = cell_to_row(cell, 0, "v0")
+        assert row.seed == 7
+        assert row.cell().seed == 7
+
+
+class TestEnqueue:
+    def test_enqueue_is_idempotent(self, queue):
+        cells = _cells()
+        assert enqueue_cells(queue, cells) == len(cells)
+        assert enqueue_cells(queue, cells) == 0
+        assert len(queue.rows()) == len(cells)
+
+    def test_second_grid_numbers_after_the_first(self, queue):
+        enqueue_cells(queue, _cells())
+        tail = expand_experiment("TH2", {"k_values": (1, 2)})
+        enqueue_cells(queue, tail)
+        indices = [row.index for row in queue.rows()]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_rows_come_back_in_index_order(self, queue):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        assert [row.cell() for row in queue.rows()] == cells
+
+    def test_schema_version_mismatch_refuses_to_open(self, tmp_path):
+        path = tmp_path / "old.db"
+        SqliteQueue(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "UPDATE queue_meta SET value = '999'"
+            " WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(QueueError):
+            SqliteQueue(path)
+
+
+class TestClaims:
+    def test_claim_is_compare_and_swap(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        assert queue.try_claim(row.cell_id, "w1", now=1.0)
+        assert not queue.try_claim(row.cell_id, "w2", now=1.0)
+        claimed = queue.get(row.cell_id)
+        assert claimed.status == CLAIMED
+        assert claimed.owner == "w1"
+        assert claimed.attempts == 1
+
+    def test_racing_claims_resolve_to_one_winner(self, tmp_path):
+        shared = tmp_path / "race.db"
+        setup = SqliteQueue(shared)
+        enqueue_cells(setup, _cells()[:1])
+        (row,) = setup.rows()
+        setup.close()
+
+        wins = []
+
+        def contender(name):
+            backend = SqliteQueue(shared)
+            try:
+                if backend.try_claim(row.cell_id, name, now=1.0):
+                    wins.append(name)
+            finally:
+                backend.close()
+
+        threads = [
+            threading.Thread(target=contender, args=(f"w{i}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+
+    def test_heartbeat_renewal_requires_ownership(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        assert queue.renew_heartbeat(row.cell_id, "w1", now=2.0)
+        assert not queue.renew_heartbeat(row.cell_id, "w2", now=2.0)
+        assert queue.get(row.cell_id).heartbeat == 2.0
+
+
+class TestWriteBack:
+    def test_done_write_back_archives_the_result(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        queue.write_back(
+            row.cell_id, "w1", DONE, now=2.0,
+            result_json='{"result": {}}', steps=9, elapsed=0.5,
+        )
+        done = queue.get(row.cell_id)
+        assert done.status == DONE
+        assert done.steps == 9
+        assert done.result_payload() == {"result": {}}
+
+    def test_write_back_without_a_claim_is_lost(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        with pytest.raises(CellClaimLost):
+            queue.write_back(row.cell_id, "w1", DONE, now=2.0)
+
+    def test_stolen_claim_cannot_overwrite_the_thief(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        # w1 goes stale; a reset reopens the cell and w2 finishes it.
+        queue.reset(stale_before=5.0)
+        queue.try_claim(row.cell_id, "w2", now=6.0)
+        queue.write_back(row.cell_id, "w2", DONE, now=7.0, result_json="{}")
+        with pytest.raises(CellClaimLost):
+            queue.write_back(row.cell_id, "w1", DONE, now=8.0)
+        assert queue.get(row.cell_id).owner == "w2"
+
+    def test_write_back_only_targets_terminal_states(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        with pytest.raises(QueueError):
+            queue.write_back(row.cell_id, "w1", OPEN, now=2.0)
+
+
+class TestReset:
+    def test_stale_reset_reopens_only_expired_heartbeats(self, queue):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        first, second = queue.next_open(limit=2)
+        queue.try_claim(first.cell_id, "dead", now=1.0)
+        queue.try_claim(second.cell_id, "live", now=1.0)
+        queue.renew_heartbeat(second.cell_id, "live", now=50.0)
+        reopened = queue.reset(stale_before=40.0)
+        assert reopened == [first.cell_id]
+        assert queue.get(first.cell_id).status == OPEN
+        assert queue.get(first.cell_id).owner is None
+        assert queue.get(second.cell_id).status == CLAIMED
+
+    def test_failed_reset_clears_the_error(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        queue.write_back(row.cell_id, "w1", FAILED, now=2.0, error="boom")
+        assert queue.reset(failed=True) == [row.cell_id]
+        reopened = queue.get(row.cell_id)
+        assert reopened.status == OPEN
+        assert reopened.error is None
+        assert reopened.result_json is None
+
+    def test_exact_cell_reset_reopens_done_rows(self, queue):
+        enqueue_cells(queue, _cells())
+        (row,) = queue.next_open(limit=1)
+        queue.try_claim(row.cell_id, "w1", now=1.0)
+        queue.write_back(row.cell_id, "w1", DONE, now=2.0, result_json="{}")
+        assert queue.reset(cell_ids=[row.cell_id]) == [row.cell_id]
+        assert queue.get(row.cell_id).status == OPEN
+
+
+class TestStatus:
+    def test_counts_and_staleness(self, queue):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        first, second = queue.next_open(limit=2)
+        queue.try_claim(first.cell_id, "w1", now=1.0)
+        queue.try_claim(second.cell_id, "w2", now=1.0)
+        queue.write_back(second.cell_id, "w2", DONE, now=2.0, result_json="{}")
+        status = queue.status(now=100.0, ttl=30.0)
+        assert status.counts[OPEN] == len(cells) - 2
+        assert status.counts[CLAIMED] == 1
+        assert status.counts[DONE] == 1
+        assert status.stale == 1  # w1 never renewed
+        assert status.experiments == ["TH1"]
+        assert status.total == len(cells)
+        assert not queue.drained()
+
+    def test_summary_line_shape(self, queue):
+        enqueue_cells(queue, _cells())
+        line = queue.status(now=0.0, ttl=30.0).summary()
+        assert line.startswith("queue: cells=5 open=5")
+        assert "experiments=TH1" in line

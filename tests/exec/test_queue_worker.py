@@ -1,0 +1,286 @@
+"""Queue workers: claim/execute/write-back, caching, versions, races."""
+
+import threading
+
+import pytest
+
+from repro.errors import CodeVersionMismatch, QueueError
+from repro.exec import ResultCache, run_experiment_grid
+from repro.exec.cache import experiment_code_version
+from repro.exec.engine import CACHED, FAILED, OK
+from repro.exec.grid import Cell, expand_experiment
+from repro.exec.queue import (
+    DONE,
+    QueueWorker,
+    SqliteQueue,
+    enqueue_cells,
+    run_cells_via_queue,
+)
+from repro.experiments import ExperimentResult, experiment, run_experiment
+
+SWEEP = {"k": 3, "f": 1}
+
+
+@pytest.fixture
+def queue(tmp_path):
+    backend = SqliteQueue(tmp_path / "q.db")
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(autouse=True)
+def _raising_experiment():
+    from repro.experiments import _REGISTRY
+
+    @experiment("Q-RAISE")
+    def _raise() -> ExperimentResult:
+        raise RuntimeError("deliberate failure")
+
+    yield
+    _REGISTRY.pop("Q-RAISE", None)
+
+
+def _cells():
+    return expand_experiment("TH1", SWEEP)
+
+
+class TestSingleWorker:
+    def test_drains_the_queue_and_matches_serial(self, queue):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        report = QueueWorker(queue, worker_id="w1").run()
+        assert report.claimed == len(cells)
+        assert report.done == len(cells)
+        assert report.failed == 0 and report.lost == 0
+        assert queue.drained()
+        for row in queue.rows():
+            assert row.status == DONE
+            assert row.owner == "w1"
+            assert row.attempts == 1
+
+    def test_max_cells_stops_early(self, queue):
+        enqueue_cells(queue, _cells())
+        report = QueueWorker(queue, worker_id="w1").run(max_cells=2)
+        assert report.claimed == 2
+        assert not queue.drained()
+
+    def test_failed_cell_records_the_traceback(self, queue):
+        enqueue_cells(queue, [Cell.make("Q-RAISE")])
+        report = QueueWorker(queue, worker_id="w1").run()
+        assert report.failed == 1
+        (row,) = queue.rows()
+        assert row.status == "failed"
+        assert "deliberate failure" in row.error
+
+    def test_nonpositive_ttl_rejected(self, queue):
+        with pytest.raises(QueueError):
+            QueueWorker(queue, ttl=0)
+
+
+class TestCacheIntegration:
+    def test_write_back_populates_the_local_cache(self, queue, tmp_path):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        cache = ResultCache(tmp_path / "cache")
+        QueueWorker(queue, worker_id="w1", cache=cache).run()
+        assert len(cache) == len(cells)
+        # A local grid run over the same cells now replays from cache.
+        replay = ResultCache(tmp_path / "cache")
+        _, report = run_experiment_grid("TH1", SWEEP, cache=replay)
+        assert report.cache_hits == len(cells)
+        assert report.total_steps == 0
+
+    def test_cached_cells_write_back_without_executing(
+        self, queue, tmp_path
+    ):
+        cells = _cells()
+        cache = ResultCache(tmp_path / "cache")
+        run_experiment_grid("TH1", SWEEP, cache=cache)  # warm locally
+        enqueue_cells(queue, cells)
+        report = QueueWorker(
+            queue, worker_id="w1", cache=ResultCache(tmp_path / "cache")
+        ).run()
+        assert report.cache_hits == len(cells)
+        assert report.steps == 0
+        assert all(row.status == DONE for row in queue.rows())
+        statuses = {o.status for o in report.outcomes.values()}
+        assert statuses == {CACHED}
+
+
+class TestVersionGuard:
+    def test_mismatched_fingerprint_refuses_the_claim(self, queue):
+        cells = _cells()[:1]
+        enqueue_cells(queue, cells)
+        # Tamper the recorded fingerprint, as if the enqueuer ran
+        # different experiment code.
+        with queue._lock:
+            queue._conn.execute(
+                "UPDATE cells SET code_version = 'deadbeef' || code_version"
+            )
+        with pytest.raises(CodeVersionMismatch) as info:
+            QueueWorker(queue, worker_id="w1").run()
+        assert "--no-version-check" in str(info.value)
+        # The cell was not claimed, let alone executed.
+        (row,) = queue.rows()
+        assert row.status == "open"
+        assert row.attempts == 0
+
+    def test_no_version_check_executes_anyway(self, queue):
+        enqueue_cells(queue, _cells()[:1])
+        with queue._lock:
+            queue._conn.execute(
+                "UPDATE cells SET code_version = 'deadbeef'"
+            )
+        report = QueueWorker(
+            queue, worker_id="w1", check_version=False
+        ).run()
+        assert report.done == 1
+
+
+class TestConcurrentWorkers:
+    def test_two_workers_claim_disjoint_cells_each_once(self, tmp_path):
+        shared = tmp_path / "shared.db"
+        setup = SqliteQueue(shared)
+        cells = expand_experiment("T1-sweep", {"n": 5, "f": 2, "k_max": 3})
+        cells += _cells()
+        enqueue_cells(setup, cells)
+        setup.close()
+
+        reports = {}
+
+        def work(name):
+            backend = SqliteQueue(shared)
+            try:
+                reports[name] = QueueWorker(backend, worker_id=name).run()
+            finally:
+                backend.close()
+
+        threads = [
+            threading.Thread(target=work, args=(f"w{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        audit = SqliteQueue(shared)
+        try:
+            rows = audit.rows()
+        finally:
+            audit.close()
+        assert all(row.status == DONE for row in rows)
+        # Exactly one execution per cell, split across the two owners.
+        assert all(row.attempts == 1 for row in rows)
+        assert sum(r.claimed for r in reports.values()) == len(cells)
+        owners = {row.cell_id: row.owner for row in rows}
+        for name, report in reports.items():
+            for cell_id in report.outcomes:
+                assert owners[cell_id] == name
+
+
+class TestEngineBackend:
+    def test_queue_backend_matches_serial_table(self, tmp_path):
+        serial = run_experiment("TH1", **SWEEP)
+        merged, report = run_experiment_grid(
+            "TH1", SWEEP, backend="queue",
+            queue_path=tmp_path / "grid.db",
+        )
+        assert not report.failed
+        assert merged.render() == serial.render()
+        assert [o.status for o in report.outcomes] == [OK] * 5
+
+    def test_queue_backend_defaults_to_a_temp_file(self):
+        serial = run_experiment("TH1", **SWEEP)
+        merged, report = run_experiment_grid("TH1", SWEEP, backend="queue")
+        assert merged.render() == serial.render()
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import InvalidConfig
+
+        with pytest.raises(InvalidConfig):
+            run_experiment_grid("TH1", SWEEP, backend="carrier-pigeon")
+
+    def test_foreign_done_rows_come_back_cached(self, queue):
+        cells = _cells()
+        enqueue_cells(queue, cells)
+        QueueWorker(queue, worker_id="other-box").run()
+        # A second participant joins after the drain: every outcome is
+        # served from the table, nothing executes.
+        report = run_cells_via_queue(cells, queue)
+        assert [o.status for o in report.outcomes] == [CACHED] * len(cells)
+        assert report.total_steps == 0
+
+    def test_failed_rows_surface_in_the_report(self, queue):
+        cells = [Cell.make("Q-RAISE")] + _cells()[:1]
+        enqueue_cells(queue, cells)
+        report = run_cells_via_queue(cells, queue)
+        assert [o.status for o in report.outcomes][0] == FAILED
+        assert "deliberate failure" in report.outcomes[0].error
+        assert report.outcomes[1].status == OK
+
+
+class TestCLI:
+    def test_create_work_status_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "cli.db")
+        assert main(
+            ["queue", "create", "--db", db, "TH1",
+             "--params", '{"k": 3, "f": 1}']
+        ) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 5 new cell(s)" in out
+        assert main(
+            ["queue", "work", "--db", db,
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        assert main(["queue", "status", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "done=5" in out
+
+    def test_create_without_ids_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["queue", "create", "--db", str(tmp_path / "x.db")]
+        ) == 2
+
+    def test_status_json_carries_per_cell_detail(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        db = str(tmp_path / "cli.db")
+        main(["queue", "create", "--db", db, "TH1",
+              "--params", '{"k": 3, "f": 1}'])
+        capsys.readouterr()
+        assert main(["queue", "status", "--db", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["open"] == 5
+        assert len(payload["cells"]) == 5
+        assert {"cell_id", "status", "owner", "attempts"} <= set(
+            payload["cells"][0]
+        )
+
+    def test_reset_needs_a_selector(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "cli.db")
+        main(["queue", "create", "--db", db, "TH1",
+              "--params", '{"k": 3, "f": 1}'])
+        assert main(["queue", "reset", "--db", db]) == 2
+        assert main(["queue", "reset", "--db", db, "--failed"]) == 0
+
+    def test_seeds_flag_enqueues_replicate_grids(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "cli.db")
+        assert main(
+            ["queue", "create", "--db", db, "TH2", "--seeds", "1,2"]
+        ) == 0
+        backend = SqliteQueue(db)
+        try:
+            seeds = {row.seed for row in backend.rows()}
+        finally:
+            backend.close()
+        assert seeds == {1, 2}

@@ -91,7 +91,8 @@ class TestCommands:
         assert "Theorem 2" in out
 
     def test_experiment_unknown(self, capsys):
-        assert main(["experiment", "NOPE"]) == 2
+        # UnknownExperiment carries its own exit code (see exit_code_for)
+        assert main(["experiment", "NOPE"]) == 16
         assert "error:" in capsys.readouterr().err
 
     def test_experiment_json_export(self, capsys, tmp_path):

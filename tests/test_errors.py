@@ -5,12 +5,18 @@ import pytest
 from repro.cli import exit_code_for
 from repro.errors import (
     BoundViolation,
+    CellClaimLost,
+    CodeVersionMismatch,
+    GridFailed,
     InvalidConfig,
+    NoMergeableResults,
+    QueueError,
     QuorumUnavailable,
     ReproError,
     SessionClosed,
     ShardCapacityExceeded,
     StaleShardMap,
+    UnknownExperiment,
     WireDecodeError,
     WriterBoundExceeded,
 )
@@ -27,6 +33,12 @@ class TestHierarchy:
         (InvalidConfig, ValueError),
         (BoundViolation, ValueError),
         (SessionClosed, RuntimeError),
+        (QueueError, RuntimeError),
+        (CellClaimLost, RuntimeError),
+        (CodeVersionMismatch, RuntimeError),
+        (GridFailed, RuntimeError),
+        (NoMergeableResults, ValueError),
+        (UnknownExperiment, ValueError),
     ]
 
     @pytest.mark.parametrize("error_class,legacy", CASES)
@@ -55,8 +67,28 @@ class TestExitCodes:
             exit_code_for(error_class("x"))
             for error_class, _ in TestHierarchy.CASES
         ]
-        assert codes == [3, 4, 5, 6, 7, 8, 9, 10]
+        assert codes == [3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]
         assert len(set(codes)) == len(codes)
+
+    def test_queue_subclasses_keep_distinct_codes(self):
+        # isinstance ordering: the claim-protocol subclasses must not
+        # collapse into the generic QueueError code.
+        assert exit_code_for(CellClaimLost("x")) == 12
+        assert exit_code_for(CodeVersionMismatch("x")) == 13
+        assert exit_code_for(QueueError("x")) == 11
+
+    def test_queue_errors_catchable_as_family(self):
+        for error_class in (CellClaimLost, CodeVersionMismatch):
+            with pytest.raises(QueueError):
+                raise error_class("boom")
+
+    def test_registry_paths_raise_typed(self):
+        from repro.experiments import get_experiment
+
+        with pytest.raises(UnknownExperiment):
+            get_experiment("NO-SUCH-EXPERIMENT")
+        with pytest.raises(ValueError):  # legacy shape still works
+            get_experiment("NO-SUCH-EXPERIMENT")
 
     def test_unknown_errors_fall_back_to_generic(self):
         assert exit_code_for(ReproError("x")) == 2
